@@ -1,0 +1,78 @@
+// Command ccabench runs the contention scenario experiments: the
+// Figure 1 isolation grid, the probe-accuracy oracle study, and the
+// ablations (pulse sweep, sub-packet regime, jitter under shaping).
+//
+// Usage:
+//
+//	ccabench -experiment fig1|fig2|oracle|pulse|subpkt|jitter|cellular|tslp|access
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+)
+
+func main() {
+	exp := flag.String("experiment", "fig1", "experiment: fig1, fig2, oracle, pulse, subpkt, jitter")
+	dur := flag.Duration("duration", 0, "override scenario duration (0 = experiment default)")
+	trials := flag.Int("trials", 30, "oracle study trials")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	switch *exp {
+	case "fig1":
+		res, err := core.RunFig1(core.Fig1Config{Duration: *dur})
+		fail(err)
+		res.WriteTable(os.Stdout)
+	case "fig2":
+		res := core.RunFig2(core.Fig2Config{})
+		res.WriteReport(os.Stdout)
+	case "oracle":
+		res, err := core.RunOracle(core.OracleConfig{Trials: *trials, Duration: *dur, Seed: *seed})
+		fail(err)
+		res.WriteTable(os.Stdout)
+	case "pulse":
+		d := *dur
+		if d == 0 {
+			d = 30 * time.Second
+		}
+		rows, err := core.RunPulseSweep(nil, nil, d)
+		fail(err)
+		core.WritePulseSweep(os.Stdout, rows)
+	case "subpkt":
+		rows := core.RunSubPacket(nil, 8, *dur)
+		core.WriteSubPacket(os.Stdout, rows)
+	case "jitter":
+		rows := core.RunJitter(*dur)
+		core.WriteJitter(os.Stdout, rows)
+	case "cellular":
+		res, err := core.RunCellular(core.CellularConfig{Duration: *dur, Seed: *seed})
+		fail(err)
+		res.WriteTable(os.Stdout)
+	case "tslp":
+		res, err := core.RunTSLP(core.TSLPConfig{Duration: *dur, Seed: *seed})
+		fail(err)
+		res.WriteTable(os.Stdout)
+	case "access":
+		res := core.RunAccess(core.AccessConfig{Duration: *dur})
+		res.WriteTable(os.Stdout)
+	case "buffer":
+		rows, err := core.RunBufferSweep(nil, *dur)
+		fail(err)
+		core.WriteBufferSweep(os.Stdout, rows)
+	default:
+		fmt.Fprintf(os.Stderr, "ccabench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccabench:", err)
+		os.Exit(1)
+	}
+}

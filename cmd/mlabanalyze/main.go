@@ -1,0 +1,54 @@
+// Command mlabanalyze runs the paper's §3.1 passive analysis over an
+// NDT JSONL dataset (from mlabgen or stdin): it excludes short,
+// application-limited, receiver-limited, and cellular flows, then runs
+// change-point detection on the remainder's throughput traces to find
+// flows whose allocation level shifted — the Figure 2 pipeline.
+//
+// Usage:
+//
+//	mlabanalyze [-detector pelt|binseg|window] [dataset.jsonl]
+//	mlabgen | mlabanalyze
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/mlab"
+)
+
+func main() {
+	detector := flag.String("detector", "pelt", "change-point detector: pelt, binseg, or window")
+	minShift := flag.Float64("minshift", 0.2, "minimum relative level shift to count")
+	cdf := flag.Bool("cdf", false, "also print the shift-magnitude CDF as (value, fraction) rows")
+	flag.Parse()
+
+	var r io.Reader = os.Stdin
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mlabanalyze:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r = f
+	}
+	recs, err := mlab.ReadJSONL(r)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlabanalyze:", err)
+		os.Exit(1)
+	}
+	res := core.AnalyzeFig2(recs, core.Fig2Config{
+		Analysis: mlab.AnalysisConfig{Detector: *detector, MinShiftFrac: *minShift},
+	})
+	res.WriteReport(os.Stdout)
+	if *cdf && res.Analysis.ShiftCDF.Len() > 0 {
+		fmt.Println("\n# shift_magnitude cumulative_fraction")
+		for _, pt := range res.Analysis.ShiftCDF.Points(50) {
+			fmt.Printf("%.4f %.4f\n", pt[0], pt[1])
+		}
+	}
+}

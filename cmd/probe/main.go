@@ -1,0 +1,58 @@
+// Command probe runs the client side of the active elasticity
+// measurement against a probed server: it paces a Nimbus-controlled
+// stream with mode switching disabled, keeps the bandwidth
+// oscillations running, and reports the measured elasticity of the
+// path's cross traffic — the speedtest-style study §3.2 proposes.
+//
+// Usage:
+//
+//	probe -server host:4460 [-duration 30s] [-mu 48e6] [-maxrate 100e6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/nimbus"
+	"repro/internal/probe"
+)
+
+func main() {
+	server := flag.String("server", "127.0.0.1:4460", "probe server address")
+	duration := flag.Duration("duration", 30*time.Second, "measurement duration")
+	mu := flag.Float64("mu", 0, "known bottleneck rate in bits/s (0 = auto-track)")
+	maxRate := flag.Float64("maxrate", 100e6, "hard cap on probe sending rate (bits/s)")
+	pulse := flag.Float64("pulse", 5, "pulse frequency in Hz")
+	size := flag.Int("size", 1200, "probe packet size in bytes")
+	series := flag.Bool("series", false, "print the elasticity time series")
+	flag.Parse()
+
+	c := probe.NewClient(probe.ClientConfig{
+		Server:     *server,
+		Duration:   *duration,
+		PacketSize: *size,
+		MaxRateBps: *maxRate,
+		Nimbus:     nimbus.Config{Mu: *mu, PulseFreq: *pulse},
+	})
+	rep, err := c.Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probe:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("session        %d\n", rep.Session)
+	fmt.Printf("sent/acked     %d/%d (loss %.2f%%)\n", rep.Sent, rep.Acked, 100*rep.LossRate)
+	fmt.Printf("rtt min/mean   %v / %v\n", rep.MinRTT, rep.MeanRTT)
+	fmt.Printf("throughput     %.2f Mbit/s\n", rep.ThroughputBps/1e6)
+	fmt.Printf("cross traffic  %.2f Mbit/s (estimated)\n", rep.CrossRateBps/1e6)
+	fmt.Printf("mean eta       %.3f\n", rep.MeanEta)
+	fmt.Printf("verdict        elastic=%v (CCA contention %s)\n", rep.Elastic,
+		map[bool]string{true: "detected", false: "not detected"}[rep.Elastic])
+	if *series {
+		fmt.Println("# time_s eta")
+		for _, s := range rep.Eta {
+			fmt.Printf("%.2f %.4f\n", s.At.Seconds(), s.Value)
+		}
+	}
+}

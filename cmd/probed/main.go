@@ -1,0 +1,48 @@
+// Command probed runs the elasticity probe server: it acknowledges
+// probe packets with receive timestamps, the reflector side of the
+// paper's proposed active measurement study.
+//
+// Usage:
+//
+//	probed [-addr :4460] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+
+	"repro/internal/probe"
+)
+
+func main() {
+	addr := flag.String("addr", ":4460", "UDP listen address")
+	verbose := flag.Bool("v", false, "log sessions")
+	flag.Parse()
+
+	cfg := probe.ServerConfig{Addr: *addr}
+	if *verbose {
+		cfg.Logf = log.Printf
+	}
+	srv, err := probe.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "probed:", err)
+		os.Exit(1)
+	}
+	log.Printf("probed: listening on %v", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		log.Printf("probed: shutting down (sessions=%d data=%d acks=%d)",
+			srv.Stats.Sessions.Load(), srv.Stats.DataPackets.Load(), srv.Stats.Acks.Load())
+		srv.Close()
+	}()
+	if err := srv.Serve(); err != nil {
+		fmt.Fprintln(os.Stderr, "probed:", err)
+		os.Exit(1)
+	}
+}

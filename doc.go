@@ -1,0 +1,27 @@
+// Package repro reproduces "How I Learned to Stop Worrying About CCA
+// Contention" (Brown et al., HotNets '23): tooling to measure whether
+// congestion-control contention actually determines flows' bandwidth
+// allocations.
+//
+// The implementation lives under internal/ (see DESIGN.md for the full
+// inventory):
+//
+//   - internal/sim, internal/qdisc, internal/transport — a
+//     deterministic packet-level network emulator with droptail,
+//     shaping, policing, fair-queueing, and per-user isolation
+//     disciplines, plus a TCP-like transport.
+//   - internal/cca — Reno, NewReno, Cubic, BBR, Copa, Vegas, AIMD, CBR.
+//   - internal/nimbus — the Nimbus-style elasticity detector the paper
+//     proposes as an active contention sensor (§3.2).
+//   - internal/mlab, internal/changepoint — the M-Lab NDT passive
+//     analysis pipeline (§3.1 / Figure 2).
+//   - internal/probe — the active measurement as a real UDP
+//     client/server tool.
+//   - internal/core — the experiment harnesses behind every figure and
+//     ablation; cmd/ and the benchmarks in this directory are thin
+//     wrappers around it.
+//
+// The benchmarks in bench_test.go regenerate each figure:
+//
+//	go test -bench=Fig -benchmem
+package repro

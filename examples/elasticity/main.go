@@ -1,0 +1,59 @@
+// Elasticity: use the Nimbus-based probe as a contention sensor
+// (§3.2). The probe shares an emulated link first with a backlogged
+// Cubic flow (elastic cross traffic — real CCA contention) and then
+// with a CBR stream of the same average rate (inelastic). Same
+// throughput loss; completely different verdicts — which is exactly
+// the information passive measurement cannot provide.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/core"
+	"repro/internal/nimbus"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+func measure(crossName string, cross transport.CCA) {
+	const rate = 48e6
+	d := core.NewDumbbell(core.LinkSpec{
+		RateBps:     rate,
+		OneWayDelay: 50 * time.Millisecond,
+		Queue:       core.QueueDropTail,
+	})
+	probeCC := nimbus.NewCCA(nimbus.Config{
+		Mu:        rate,
+		PulseFreq: 2, // period > loaded RTT (see DESIGN.md)
+	})
+	probe := d.AddBulk(1, 1, probeCC)
+
+	f := transport.NewFlow(d.Eng, transport.FlowConfig{
+		ID: 2, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
+		ReturnDelay: d.Spec.OneWayDelay, CC: cross, Backlogged: true,
+	})
+	f.Start()
+
+	const dur = 40 * time.Second
+	d.Run(dur)
+
+	etas := probeCC.Est.Elasticity.Window(10*time.Second, dur)
+	eta := stats.Mean(etas)
+	verdict := "inelastic (no CCA contention)"
+	if eta >= probeCC.Est.Config().EtaThreshold {
+		verdict = "ELASTIC (CCA contention detected)"
+	}
+	fmt.Printf("cross traffic %-6s  probe %-14s cross %-14s eta=%.3f -> %s\n",
+		crossName,
+		core.FmtBps(probe.Throughput(10*time.Second, dur)),
+		core.FmtBps(f.Throughput(10*time.Second, dur)),
+		eta, verdict)
+}
+
+func main() {
+	fmt.Println("Nimbus elasticity probe, mode switching disabled (paper §3.2):")
+	measure("cubic", cca.NewCubicCC())
+	measure("cbr", cca.NewCBR(0.4*48e6))
+}

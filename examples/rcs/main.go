@@ -1,0 +1,60 @@
+// RCS: the paper's §5.3 asks how we should model the Internet if CCA
+// dynamics don't govern allocations. One candidate it cites is
+// "Recursive Congestion Shares" (Brown et al., HotNets '20): bandwidth
+// at a congested resource divides along the tree of economic
+// arrangements, recursively. This example allocates a congested IXP
+// port across two ISPs and their customers — no CCA involved.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bwe"
+	"repro/internal/core"
+)
+
+func main() {
+	// An IXP port: ISP A pays for twice ISP B's share. A's customers
+	// are one video viewer (bounded demand) and one bulk downloader;
+	// B hosts a single bulk downloader.
+	tree := &bwe.ShareNode{
+		Name: "ixp-port",
+		Children: []*bwe.ShareNode{
+			{
+				Name:   "isp-a",
+				Weight: 2,
+				Children: []*bwe.ShareNode{
+					{Name: "a/video", DemandBps: 8e6},
+					{Name: "a/bulk", DemandBps: 1e9},
+				},
+			},
+			{
+				Name:   "isp-b",
+				Weight: 1,
+				Children: []*bwe.ShareNode{
+					{Name: "b/bulk", DemandBps: 1e9},
+				},
+			},
+		},
+	}
+
+	const port = 90e6
+	alloc, err := bwe.AllocateShares(tree, port)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("recursive congestion shares over a %s port:\n", core.FmtBps(port))
+	for _, name := range bwe.FlattenNames(tree) {
+		if v, ok := alloc[name]; ok && v > 0 {
+			fmt.Printf("  %-8s %s\n", name, core.FmtBps(v))
+		}
+	}
+	fmt.Println()
+	fmt.Println("ISP A's weight-2 contract yields 60 Mbit/s; its video user takes")
+	fmt.Println("only its 8 Mbit/s demand and the bulk user the rest. The same")
+	fmt.Println("allocation emerges from the contract tree every time — no CCA")
+	fmt.Println("dynamics, which is §5.3's point about modelling the Internet by")
+	fmt.Println("economic arrangements rather than flow interaction.")
+}

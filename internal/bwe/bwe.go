@@ -1,0 +1,139 @@
+// Package bwe implements a BwE-style centralized, host-based bandwidth
+// allocator (Kumar et al., SIGCOMM '15), the mechanism §2.1 credits
+// with eliminating inter-flow contention on private WANs: applications
+// report demands with priorities and weights, and the allocator
+// computes a hierarchical max-min fair allocation of each link's
+// capacity — no CCA dynamics involved.
+package bwe
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Demand is one application's bandwidth request on a link.
+type Demand struct {
+	// App names the requester.
+	App string
+	// Bps is the requested rate in bits/s (must be >= 0).
+	Bps float64
+	// Weight scales the app's fair share (default 1).
+	Weight float64
+	// Priority: higher priorities are satisfied fully before lower
+	// priorities receive anything (BwE's strict bands).
+	Priority int
+}
+
+// Allocation is the allocator's verdict for one app.
+type Allocation struct {
+	App string
+	Bps float64
+}
+
+// ErrNoCapacity is returned for non-positive link capacity.
+var ErrNoCapacity = errors.New("bwe: link capacity must be positive")
+
+// Allocate computes the allocation of capacity (bits/s) across
+// demands: strict priority between bands, weighted max-min
+// (water-filling) within a band. Allocations never exceed demands and
+// sum to at most capacity. Results are returned in the input order.
+func Allocate(capacity float64, demands []Demand) ([]Allocation, error) {
+	if capacity <= 0 {
+		return nil, ErrNoCapacity
+	}
+	for i, d := range demands {
+		if d.Bps < 0 {
+			return nil, fmt.Errorf("bwe: demand %d (%s): negative rate", i, d.App)
+		}
+	}
+	out := make([]Allocation, len(demands))
+	for i, d := range demands {
+		out[i] = Allocation{App: d.App}
+	}
+
+	// Group indices by priority band, highest first.
+	bands := map[int][]int{}
+	var prios []int
+	for i, d := range demands {
+		if len(bands[d.Priority]) == 0 {
+			prios = append(prios, d.Priority)
+		}
+		bands[d.Priority] = append(bands[d.Priority], i)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(prios)))
+
+	remaining := capacity
+	for _, p := range prios {
+		if remaining <= 0 {
+			break
+		}
+		idxs := bands[p]
+		alloc := waterfill(remaining, demands, idxs)
+		for _, i := range idxs {
+			out[i].Bps = alloc[i]
+			remaining -= alloc[i]
+		}
+	}
+	return out, nil
+}
+
+// waterfill computes weighted max-min over the given demand indices
+// within capacity, returning a map from index to allocation.
+func waterfill(capacity float64, demands []Demand, idxs []int) map[int]float64 {
+	alloc := make(map[int]float64, len(idxs))
+	active := make([]int, len(idxs))
+	copy(active, idxs)
+	remaining := capacity
+	for len(active) > 0 && remaining > 1e-9 {
+		var totalW float64
+		for _, i := range active {
+			totalW += weight(demands[i])
+		}
+		if totalW <= 0 {
+			break
+		}
+		// Fair share per unit weight this round.
+		share := remaining / totalW
+		var next []int
+		for _, i := range active {
+			d := demands[i]
+			fair := share * weight(d)
+			need := d.Bps - alloc[i]
+			if need <= fair+1e-12 {
+				// Demand satisfied: release the excess to others.
+				alloc[i] += need
+				remaining -= need
+			} else {
+				next = append(next, i)
+			}
+		}
+		if len(next) == len(active) {
+			// No one saturated: give everyone their fair share and stop.
+			for _, i := range active {
+				give := share * weight(demands[i])
+				alloc[i] += give
+				remaining -= give
+			}
+			break
+		}
+		active = next
+	}
+	return alloc
+}
+
+func weight(d Demand) float64 {
+	if d.Weight <= 0 {
+		return 1
+	}
+	return d.Weight
+}
+
+// TotalAllocated sums the allocations.
+func TotalAllocated(allocs []Allocation) float64 {
+	var t float64
+	for _, a := range allocs {
+		t += a.Bps
+	}
+	return t
+}

@@ -1,0 +1,162 @@
+package bwe
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file implements a small model of "Recursive Congestion Shares"
+// (Brown et al., HotNets '20 — the paper's reference [77] and §5.3's
+// candidate replacement for the flow-contention model of the
+// Internet): bandwidth at a congested resource is divided among the
+// *economic arrangements* (customers, peers) it serves, recursively —
+// each arrangement subdivides its share among its own customers, down
+// to end hosts. Contention is thus resolved by contract structure, not
+// CCA dynamics.
+
+// ShareNode is one node of the recursive share tree: an economic
+// entity holding a weighted share of its parent's allocation.
+type ShareNode struct {
+	// Name identifies the entity.
+	Name string
+	// Weight is the entity's contractual share relative to its
+	// siblings (default 1).
+	Weight float64
+	// DemandBps is the entity's own traffic demand in bits/s (leaves;
+	// interior nodes may also originate traffic).
+	DemandBps float64
+	// Children are the entity's customers.
+	Children []*ShareNode
+}
+
+// ErrNilNode is returned when allocating over a nil tree.
+var ErrNilNode = errors.New("bwe: nil share tree")
+
+// totalDemand returns the subtree's demand.
+func (n *ShareNode) totalDemand() float64 {
+	d := n.DemandBps
+	for _, c := range n.Children {
+		d += c.totalDemand()
+	}
+	return d
+}
+
+// AllocateShares divides capacity (bits/s) over the share tree:
+// weighted max-min among siblings at every level, with unused share
+// recursively redistributed (water-filling). It returns the allocation
+// for every node by name. Duplicate names are rejected.
+func AllocateShares(root *ShareNode, capacity float64) (map[string]float64, error) {
+	if root == nil {
+		return nil, ErrNilNode
+	}
+	if capacity <= 0 {
+		return nil, ErrNoCapacity
+	}
+	out := make(map[string]float64)
+	if err := checkNames(root, map[string]bool{}); err != nil {
+		return nil, err
+	}
+	allocateNode(root, capacity, out)
+	return out, nil
+}
+
+func checkNames(n *ShareNode, seen map[string]bool) error {
+	if seen[n.Name] {
+		return fmt.Errorf("bwe: duplicate share node name %q", n.Name)
+	}
+	seen[n.Name] = true
+	for _, c := range n.Children {
+		if err := checkNames(c, seen); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// allocateNode assigns capacity to n's own demand and its children.
+func allocateNode(n *ShareNode, capacity float64, out map[string]float64) {
+	// The node's own demand competes with its children as an implicit
+	// sibling of weight 1 (its "self" traffic).
+	type claim struct {
+		node   *ShareNode // nil for self-demand
+		weight float64
+		demand float64
+	}
+	var claims []claim
+	if n.DemandBps > 0 {
+		claims = append(claims, claim{node: nil, weight: 1, demand: n.DemandBps})
+	}
+	for _, c := range n.Children {
+		w := c.Weight
+		if w <= 0 {
+			w = 1
+		}
+		claims = append(claims, claim{node: c, weight: w, demand: c.totalDemand()})
+	}
+	if len(claims) == 0 {
+		out[n.Name] = 0
+		return
+	}
+	// Weighted water-fill across claims.
+	alloc := make([]float64, len(claims))
+	active := make([]int, 0, len(claims))
+	for i := range claims {
+		active = append(active, i)
+	}
+	remaining := capacity
+	for len(active) > 0 && remaining > 1e-9 {
+		var totalW float64
+		for _, i := range active {
+			totalW += claims[i].weight
+		}
+		share := remaining / totalW
+		var next []int
+		for _, i := range active {
+			fair := share * claims[i].weight
+			need := claims[i].demand - alloc[i]
+			if need <= fair+1e-12 {
+				alloc[i] += need
+				remaining -= need
+			} else {
+				next = append(next, i)
+			}
+		}
+		if len(next) == len(active) {
+			for _, i := range active {
+				give := share * claims[i].weight
+				alloc[i] += give
+				remaining -= give
+			}
+			break
+		}
+		active = next
+	}
+	var selfAlloc float64
+	for i, c := range claims {
+		if c.node == nil {
+			selfAlloc = alloc[i]
+			continue
+		}
+		allocateNode(c.node, alloc[i], out)
+	}
+	out[n.Name] = selfAlloc
+}
+
+// FlattenNames returns all node names in deterministic (sorted) order,
+// useful for stable report output.
+func FlattenNames(root *ShareNode) []string {
+	var names []string
+	var walk func(*ShareNode)
+	walk = func(n *ShareNode) {
+		names = append(names, n.Name)
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	if root != nil {
+		walk(root)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,119 @@
+package bwe
+
+import (
+	"math"
+	"testing"
+)
+
+func rcsTree() *ShareNode {
+	return &ShareNode{
+		Name: "ixp-port",
+		Children: []*ShareNode{
+			{
+				Name:   "isp-a",
+				Weight: 2,
+				Children: []*ShareNode{
+					{Name: "a-user1", DemandBps: 100e6},
+					{Name: "a-user2", DemandBps: 10e6},
+				},
+			},
+			{
+				Name:   "isp-b",
+				Weight: 1,
+				Children: []*ShareNode{
+					{Name: "b-user1", DemandBps: 100e6},
+				},
+			},
+		},
+	}
+}
+
+func TestAllocateSharesErrors(t *testing.T) {
+	if _, err := AllocateShares(nil, 100); err != ErrNilNode {
+		t.Errorf("nil tree err = %v", err)
+	}
+	if _, err := AllocateShares(&ShareNode{Name: "x"}, 0); err != ErrNoCapacity {
+		t.Errorf("zero capacity err = %v", err)
+	}
+	dup := &ShareNode{Name: "x", Children: []*ShareNode{{Name: "x"}}}
+	if _, err := AllocateShares(dup, 100); err == nil {
+		t.Error("duplicate names should error")
+	}
+}
+
+func TestAllocateSharesWeightedLevels(t *testing.T) {
+	// 90 Mbit/s port: isp-a (weight 2) gets 60, isp-b gets 30.
+	out, err := AllocateShares(rcsTree(), 90e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Within isp-a: user2's 10M is satisfied; user1 takes the
+	// remaining 50M of isp-a's 60M.
+	if math.Abs(out["a-user2"]-10e6) > 1e3 {
+		t.Errorf("a-user2 = %v, want 10M", out["a-user2"])
+	}
+	if math.Abs(out["a-user1"]-50e6) > 1e3 {
+		t.Errorf("a-user1 = %v, want 50M", out["a-user1"])
+	}
+	if math.Abs(out["b-user1"]-30e6) > 1e3 {
+		t.Errorf("b-user1 = %v, want 30M", out["b-user1"])
+	}
+}
+
+func TestAllocateSharesUnderloadedRedistribution(t *testing.T) {
+	// Plenty of capacity: everyone gets their demand; nothing more.
+	out, err := AllocateShares(rcsTree(), 500e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["a-user1"] != 100e6 || out["a-user2"] != 10e6 || out["b-user1"] != 100e6 {
+		t.Errorf("underloaded = %v", out)
+	}
+}
+
+func TestAllocateSharesSelfDemand(t *testing.T) {
+	// An ISP with its own traffic competing with one customer.
+	tree := &ShareNode{
+		Name:      "isp",
+		DemandBps: 50e6,
+		Children:  []*ShareNode{{Name: "cust", DemandBps: 50e6}},
+	}
+	out, err := AllocateShares(tree, 60e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out["isp"]-30e6) > 1e3 || math.Abs(out["cust"]-30e6) > 1e3 {
+		t.Errorf("self/customer split = %v", out)
+	}
+}
+
+func TestAllocateSharesConservation(t *testing.T) {
+	out, err := AllocateShares(rcsTree(), 90e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range out {
+		sum += v
+	}
+	if sum > 90e6+1 {
+		t.Errorf("over-allocated: %v", sum)
+	}
+	// Demand exceeds capacity: work conserving.
+	if sum < 90e6-1 {
+		t.Errorf("under-allocated: %v", sum)
+	}
+}
+
+func TestFlattenNames(t *testing.T) {
+	names := FlattenNames(rcsTree())
+	if len(names) != 6 {
+		t.Fatalf("names = %v", names)
+	}
+	if names[0] != "a-user1" { // sorted
+		t.Errorf("first = %s", names[0])
+	}
+	if FlattenNames(nil) != nil {
+		t.Error("nil tree should flatten to nil")
+	}
+}

@@ -1,0 +1,188 @@
+// Package contention provides ground truth about CCA contention in
+// emulated scenarios. Section 2 of the paper gives three prerequisites
+// for contention between two flows: they must (i) share a path
+// segment, (ii) experience a bottleneck in that segment, and (iii) use
+// the same queue at the bottleneck link. This package checks those
+// prerequisites over a scenario's topology and offered loads, and
+// quantifies whether a flow's *allocation was determined by CCA
+// dynamics* by comparing its achieved throughput with its isolated
+// (solo) baseline.
+//
+// The oracle is what the paper's proposed measurement study cannot
+// have on the real Internet — which is exactly why the emulator
+// carries it: it lets us score the elasticity probe's verdicts
+// (precision/recall) before trusting them in the wild.
+package contention
+
+import (
+	"math"
+
+	"repro/internal/sim"
+)
+
+// FlowInfo describes one flow's placement and demand for prerequisite
+// checking.
+type FlowInfo struct {
+	ID int
+	// Path is the flow's forward path.
+	Path []*sim.Link
+	// OfferedBps is the flow's offered load in bits/s: +Inf (or <= 0,
+	// treated as unbounded) for persistently backlogged flows, the
+	// application's bounded rate otherwise.
+	OfferedBps float64
+	// Queue identifies the queue the flow occupies at each link; flows
+	// sharing a FIFO droptail share a queue, flows separated by
+	// per-flow fair queueing or per-user isolation (different users)
+	// do not. Keyed by link index in Path. A nil map means "shares the
+	// link's single queue".
+	QueueID map[*sim.Link]int
+}
+
+// offered returns the effective offered load (unbounded => +Inf).
+func (f *FlowInfo) offered() float64 {
+	if f.OfferedBps <= 0 {
+		return math.Inf(1)
+	}
+	return f.OfferedBps
+}
+
+// queueAt returns the flow's queue id at link l.
+func (f *FlowInfo) queueAt(l *sim.Link) int {
+	if f.QueueID == nil {
+		return 0
+	}
+	return f.QueueID[l]
+}
+
+// offeredAt returns the flow's effective offered load arriving at
+// Path[i]: its application offered load clipped by every upstream
+// link's rate. A backlogged flow behind a 50 Mbit/s access link can
+// offer at most 50 Mbit/s to a downstream peering link — which is why
+// provisioned core links are not bottlenecks for it (§2.2).
+func (f *FlowInfo) offeredAt(i int) float64 {
+	rate := f.offered()
+	for j := 0; j < i && j < len(f.Path); j++ {
+		if r := f.Path[j].Rate; r < rate {
+			rate = r
+		}
+	}
+	return rate
+}
+
+// Prerequisites reports whether flows a and b satisfy the paper's
+// three contention prerequisites: a shared link that is a bottleneck
+// for their combined (upstream-clipped) offered load, in the same
+// queue.
+func Prerequisites(a, b *FlowInfo) (shared, bottlenecked, sameQueue bool) {
+	for ia, la := range a.Path {
+		for ib, lb := range b.Path {
+			if la != lb {
+				continue
+			}
+			shared = true
+			sum := a.offeredAt(ia) + b.offeredAt(ib)
+			if sum > la.Rate {
+				bottlenecked = true
+				if a.queueAt(la) == b.queueAt(la) {
+					sameQueue = true
+					return
+				}
+			}
+		}
+	}
+	return
+}
+
+// Contend reports whether all three prerequisites hold.
+func Contend(a, b *FlowInfo) bool {
+	_, _, same := Prerequisites(a, b)
+	return same
+}
+
+// Outcome quantifies how much a flow's allocation deviated from its
+// solo baseline.
+type Outcome struct {
+	FlowID int
+	// SoloBps is the throughput the flow achieves running alone on
+	// the same topology.
+	SoloBps float64
+	// AchievedBps is the throughput in the full scenario.
+	AchievedBps float64
+}
+
+// Determined reports whether CCA dynamics plausibly determined the
+// flow's allocation: the achieved throughput deviates from the solo
+// baseline by more than frac (relative). An application-limited flow
+// that still gets its offered load is, by this test, not
+// CCA-determined even if it shares a loaded queue.
+func (o Outcome) Determined(frac float64) bool {
+	if o.SoloBps <= 0 {
+		return false
+	}
+	dev := math.Abs(o.SoloBps-o.AchievedBps) / o.SoloBps
+	return dev > frac
+}
+
+// Deviation returns |solo-achieved|/solo (0 when solo is 0).
+func (o Outcome) Deviation() float64 {
+	if o.SoloBps <= 0 {
+		return 0
+	}
+	return math.Abs(o.SoloBps-o.AchievedBps) / o.SoloBps
+}
+
+// Score tallies a binary classifier (e.g. the elasticity probe)
+// against ground truth.
+type Score struct {
+	TP, FP, TN, FN int
+}
+
+// Add records one (truth, predicted) pair.
+func (s *Score) Add(truth, predicted bool) {
+	switch {
+	case truth && predicted:
+		s.TP++
+	case truth && !predicted:
+		s.FN++
+	case !truth && predicted:
+		s.FP++
+	default:
+		s.TN++
+	}
+}
+
+// Precision returns TP/(TP+FP) (0 when undefined).
+func (s Score) Precision() float64 {
+	d := s.TP + s.FP
+	if d == 0 {
+		return 0
+	}
+	return float64(s.TP) / float64(d)
+}
+
+// Recall returns TP/(TP+FN) (0 when undefined).
+func (s Score) Recall() float64 {
+	d := s.TP + s.FN
+	if d == 0 {
+		return 0
+	}
+	return float64(s.TP) / float64(d)
+}
+
+// Accuracy returns (TP+TN)/total (0 when empty).
+func (s Score) Accuracy() float64 {
+	d := s.TP + s.FP + s.TN + s.FN
+	if d == 0 {
+		return 0
+	}
+	return float64(s.TP+s.TN) / float64(d)
+}
+
+// F1 returns the harmonic mean of precision and recall.
+func (s Score) F1() float64 {
+	p, r := s.Precision(), s.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}

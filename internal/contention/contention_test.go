@@ -1,0 +1,161 @@
+package contention
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+)
+
+func link(rate float64) *sim.Link {
+	eng := &sim.Engine{}
+	return sim.NewLink(eng, "l", rate, 10*time.Millisecond, qdisc.NewDropTail(1<<20))
+}
+
+func TestPrerequisitesDisjointPaths(t *testing.T) {
+	l1, l2 := link(10e6), link(10e6)
+	a := &FlowInfo{ID: 1, Path: []*sim.Link{l1}}
+	b := &FlowInfo{ID: 2, Path: []*sim.Link{l2}}
+	shared, bott, same := Prerequisites(a, b)
+	if shared || bott || same {
+		t.Error("disjoint paths should satisfy nothing")
+	}
+	if Contend(a, b) {
+		t.Error("disjoint flows cannot contend")
+	}
+}
+
+func TestPrerequisitesSharedButUnloaded(t *testing.T) {
+	l := link(100e6)
+	// Two bounded flows that together fit the link: shared, not
+	// bottlenecked.
+	a := &FlowInfo{ID: 1, Path: []*sim.Link{l}, OfferedBps: 20e6}
+	b := &FlowInfo{ID: 2, Path: []*sim.Link{l}, OfferedBps: 30e6}
+	shared, bott, same := Prerequisites(a, b)
+	if !shared {
+		t.Error("flows share the link")
+	}
+	if bott || same {
+		t.Error("an unloaded link is not a bottleneck")
+	}
+}
+
+func TestPrerequisitesBottleneckSameQueue(t *testing.T) {
+	l := link(10e6)
+	// Backlogged flows (unbounded offered load) on one FIFO.
+	a := &FlowInfo{ID: 1, Path: []*sim.Link{l}}
+	b := &FlowInfo{ID: 2, Path: []*sim.Link{l}}
+	shared, bott, same := Prerequisites(a, b)
+	if !shared || !bott || !same {
+		t.Errorf("got %v/%v/%v, want all true", shared, bott, same)
+	}
+	if !Contend(a, b) {
+		t.Error("backlogged FIFO flows contend")
+	}
+}
+
+func TestPrerequisitesSeparateQueues(t *testing.T) {
+	l := link(10e6)
+	// Fair queueing separates the flows: queue ids differ.
+	a := &FlowInfo{ID: 1, Path: []*sim.Link{l}, QueueID: map[*sim.Link]int{l: 1}}
+	b := &FlowInfo{ID: 2, Path: []*sim.Link{l}, QueueID: map[*sim.Link]int{l: 2}}
+	shared, bott, same := Prerequisites(a, b)
+	if !shared || !bott {
+		t.Error("link shared and bottlenecked")
+	}
+	if same {
+		t.Error("separate queues must fail the third prerequisite")
+	}
+	if Contend(a, b) {
+		t.Error("isolated flows do not contend")
+	}
+}
+
+func TestOutcomeDetermined(t *testing.T) {
+	o := Outcome{FlowID: 1, SoloBps: 10e6, AchievedBps: 4e6}
+	if !o.Determined(0.2) {
+		t.Error("60% deviation should count as CCA-determined")
+	}
+	if o.Determined(0.7) {
+		t.Error("deviation below threshold")
+	}
+	if dev := o.Deviation(); dev < 0.59 || dev > 0.61 {
+		t.Errorf("deviation = %v", dev)
+	}
+	// App-limited flow that achieves its offered load.
+	o = Outcome{SoloBps: 5e6, AchievedBps: 5e6}
+	if o.Determined(0.1) {
+		t.Error("no deviation means not determined")
+	}
+	// Degenerate solo.
+	o = Outcome{SoloBps: 0, AchievedBps: 5e6}
+	if o.Determined(0.1) || o.Deviation() != 0 {
+		t.Error("zero solo baseline should never be determined")
+	}
+}
+
+func TestScoreMetrics(t *testing.T) {
+	var s Score
+	// 3 TP, 1 FP, 1 FN, 5 TN.
+	for i := 0; i < 3; i++ {
+		s.Add(true, true)
+	}
+	s.Add(false, true)
+	s.Add(true, false)
+	for i := 0; i < 5; i++ {
+		s.Add(false, false)
+	}
+	if s.TP != 3 || s.FP != 1 || s.FN != 1 || s.TN != 5 {
+		t.Fatalf("score = %+v", s)
+	}
+	if p := s.Precision(); p != 0.75 {
+		t.Errorf("precision = %v", p)
+	}
+	if r := s.Recall(); r != 0.75 {
+		t.Errorf("recall = %v", r)
+	}
+	if a := s.Accuracy(); a != 0.8 {
+		t.Errorf("accuracy = %v", a)
+	}
+	if f := s.F1(); f != 0.75 {
+		t.Errorf("f1 = %v", f)
+	}
+	var zero Score
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.Accuracy() != 0 || zero.F1() != 0 {
+		t.Error("empty score should be all zeros")
+	}
+}
+
+func TestOfferedLoadClippedByUpstreamLinks(t *testing.T) {
+	// Two backlogged flows behind separate 50 Mbit/s access links,
+	// sharing a 1 Gbit/s core: the core receives at most 100 Mbit/s,
+	// so it is not a bottleneck despite the unbounded offered loads.
+	accessA, accessB := link(50e6), link(50e6)
+	coreL := link(1e9)
+	a := &FlowInfo{ID: 1, Path: []*sim.Link{accessA, coreL}}
+	b := &FlowInfo{ID: 2, Path: []*sim.Link{accessB, coreL}}
+	shared, bott, same := Prerequisites(a, b)
+	if !shared {
+		t.Error("core is shared")
+	}
+	if bott || same {
+		t.Error("provisioned core must not count as a bottleneck")
+	}
+	// Same flows behind ONE access link: contention at the access.
+	c := &FlowInfo{ID: 3, Path: []*sim.Link{accessA, coreL}}
+	if !Contend(a, c) {
+		t.Error("same-access backlogged flows contend")
+	}
+}
+
+func TestMultiHopSharedSegment(t *testing.T) {
+	shared := link(10e6)
+	l1, l2 := link(100e6), link(100e6)
+	a := &FlowInfo{ID: 1, Path: []*sim.Link{l1, shared}}
+	b := &FlowInfo{ID: 2, Path: []*sim.Link{shared, l2}}
+	s, bott, same := Prerequisites(a, b)
+	if !s || !bott || !same {
+		t.Errorf("multi-hop shared segment: %v/%v/%v", s, bott, same)
+	}
+}

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/nimbus"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// PulseSweepResult holds one (frequency, amplitude) cell of the pulse
+// ablation: elasticity separation between a Reno (elastic) and CBR
+// (inelastic) cross-traffic scenario.
+type PulseSweepResult struct {
+	FreqHz     float64
+	Amp        float64
+	EtaReno    float64
+	EtaCBR     float64
+	Separation float64 // EtaReno - EtaCBR: the detector's margin
+}
+
+// RunPulseSweep runs the abl-pulse ablation: how the pulse frequency
+// and amplitude choice affects the probe's ability to separate elastic
+// from inelastic cross traffic on the Figure 3 link. It demonstrates
+// why the pulse period must exceed the loaded RTT.
+func RunPulseSweep(freqs, amps []float64, dur time.Duration) ([]PulseSweepResult, error) {
+	if len(freqs) == 0 {
+		freqs = []float64{1, 2, 5, 10}
+	}
+	if len(amps) == 0 {
+		amps = []float64{0.1, 0.25, 0.5}
+	}
+	if dur <= 0 {
+		dur = 30 * time.Second
+	}
+	var out []PulseSweepResult
+	for _, f := range freqs {
+		for _, a := range amps {
+			etaR, err := pulseCell(f, a, "reno", dur)
+			if err != nil {
+				return nil, err
+			}
+			etaC, err := pulseCell(f, a, "cbr", dur)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, PulseSweepResult{
+				FreqHz: f, Amp: a, EtaReno: etaR, EtaCBR: etaC, Separation: etaR - etaC,
+			})
+		}
+	}
+	return out, nil
+}
+
+func pulseCell(freq, amp float64, cross string, dur time.Duration) (float64, error) {
+	const rate = 48e6
+	d := NewDumbbell(LinkSpec{RateBps: rate, OneWayDelay: 50 * time.Millisecond, BufferBDP: 1})
+	probeCC := nimbus.NewCCA(nimbus.Config{
+		Mu: rate, PulseFreq: freq, PulseAmp: amp,
+	})
+	d.AddBulk(1, 1, probeCC)
+	var cc transport.CCA
+	switch cross {
+	case "reno":
+		cc = cca.NewRenoCC()
+	case "cbr":
+		cc = cca.NewCBR(0.4 * rate)
+	default:
+		return 0, fmt.Errorf("core: unknown pulse-sweep cross %q", cross)
+	}
+	f := transport.NewFlow(d.Eng, transport.FlowConfig{
+		ID: 2, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
+		ReturnDelay: d.Spec.OneWayDelay, CC: cc, Backlogged: true,
+	})
+	f.Start()
+	d.Run(dur)
+	etas := probeCC.Est.Elasticity.Window(10*time.Second, dur)
+	if len(etas) == 0 {
+		return 0, nil
+	}
+	return stats.Mean(etas), nil
+}
+
+// WritePulseSweep renders the ablation table.
+func WritePulseSweep(w io.Writer, rows []PulseSweepResult) {
+	fmt.Fprintln(w, "abl-pulse: elasticity separation vs pulse frequency/amplitude (48 Mbit/s, 100ms RTT)")
+	fmt.Fprintf(w, "%6s %6s %9s %8s %11s\n", "freq", "amp", "eta-reno", "eta-cbr", "separation")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5.1fHz %6.2f %9.3f %8.3f %11.3f\n", r.FreqHz, r.Amp, r.EtaReno, r.EtaCBR, r.Separation)
+	}
+}
+
+// BufferSweepResult holds one buffer-depth cell of the abl-buffer
+// ablation: detector separation vs bottleneck buffer size.
+type BufferSweepResult struct {
+	BufferBDP  float64
+	EtaReno    float64
+	EtaCBR     float64
+	Separation float64
+}
+
+// RunBufferSweep runs the abl-buffer ablation: the probe's pulses
+// work the bottleneck queue, so the buffer depth (relative to the
+// pulse-induced swing) bounds how much elastic response can register.
+// Very shallow buffers clip the oscillation; bufferbloat dilutes it.
+func RunBufferSweep(bdps []float64, dur time.Duration) ([]BufferSweepResult, error) {
+	if len(bdps) == 0 {
+		bdps = []float64{0.5, 1, 2, 4}
+	}
+	if dur <= 0 {
+		dur = 30 * time.Second
+	}
+	var out []BufferSweepResult
+	for _, bdp := range bdps {
+		etaR, err := bufferCell(bdp, "reno", dur)
+		if err != nil {
+			return nil, err
+		}
+		etaC, err := bufferCell(bdp, "cbr", dur)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BufferSweepResult{
+			BufferBDP: bdp, EtaReno: etaR, EtaCBR: etaC, Separation: etaR - etaC,
+		})
+	}
+	return out, nil
+}
+
+func bufferCell(bdp float64, cross string, dur time.Duration) (float64, error) {
+	const rate = 48e6
+	d := NewDumbbell(LinkSpec{RateBps: rate, OneWayDelay: 50 * time.Millisecond, BufferBDP: bdp})
+	probeCC := nimbus.NewCCA(nimbus.Config{Mu: rate, PulseFreq: 2})
+	d.AddBulk(1, 1, probeCC)
+	var cc transport.CCA
+	switch cross {
+	case "reno":
+		cc = cca.NewRenoCC()
+	case "cbr":
+		cc = cca.NewCBR(0.4 * rate)
+	default:
+		return 0, fmt.Errorf("core: unknown buffer-sweep cross %q", cross)
+	}
+	f := transport.NewFlow(d.Eng, transport.FlowConfig{
+		ID: 2, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
+		ReturnDelay: d.Spec.OneWayDelay, CC: cc, Backlogged: true,
+	})
+	f.Start()
+	d.Run(dur)
+	etas := probeCC.Est.Elasticity.Window(10*time.Second, dur)
+	if len(etas) == 0 {
+		return 0, nil
+	}
+	return stats.Mean(etas), nil
+}
+
+// WriteBufferSweep renders the ablation table.
+func WriteBufferSweep(w io.Writer, rows []BufferSweepResult) {
+	fmt.Fprintln(w, "abl-buffer: elasticity separation vs bottleneck buffer depth (48 Mbit/s, 100ms RTT, 2 Hz)")
+	fmt.Fprintf(w, "%8s %9s %8s %11s\n", "buffer", "eta-reno", "eta-cbr", "separation")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5.1fBDP %9.3f %8.3f %11.3f\n", r.BufferBDP, r.EtaReno, r.EtaCBR, r.Separation)
+	}
+}
+
+// SubPacketResult summarizes the abl-subpkt ablation at one link rate:
+// N Reno flows on a sub-packet-BDP link (Chen et al., SIGMETRICS '11 —
+// the paper's §2.3 developing-world discussion).
+type SubPacketResult struct {
+	RateBps float64
+	Flows   int
+	// Jain is the fairness index over per-flow throughput in the
+	// measurement window.
+	Jain float64
+	// StarvedFlows counts flows receiving under 10% of their fair
+	// share.
+	StarvedFlows int
+	// Timeouts counts RTO-driven loss events across flows.
+	Timeouts int64
+}
+
+// RunSubPacket runs the sub-packet-regime ablation: low-rate links
+// where the per-flow BDP is below one packet produce timeout-driven
+// starvation over short timescales.
+func RunSubPacket(rates []float64, flows int, dur time.Duration) []SubPacketResult {
+	if len(rates) == 0 {
+		rates = []float64{256e3, 512e3, 1e6, 2e6}
+	}
+	if flows <= 0 {
+		flows = 8
+	}
+	if dur <= 0 {
+		dur = 20 * time.Second
+	}
+	var out []SubPacketResult
+	for _, rate := range rates {
+		eng := &sim.Engine{}
+		// 200ms one-way: a long, thin path.
+		link := sim.NewLink(eng, "thin", rate, 100*time.Millisecond, qdisc.NewDropTail(8*sim.MSS))
+		var fl []*transport.Flow
+		for i := 0; i < flows; i++ {
+			f := transport.NewFlow(eng, transport.FlowConfig{
+				ID: i + 1, UserID: 1, Path: []*sim.Link{link},
+				ReturnDelay: 100 * time.Millisecond,
+				CC:          cca.NewRenoCC(), Backlogged: true,
+			})
+			f.Start()
+			fl = append(fl, f)
+		}
+		eng.Run(dur)
+		var tputs []float64
+		var timeouts int64
+		starved := 0
+		fair := rate / float64(flows)
+		for _, f := range fl {
+			tp := f.Throughput(dur/4, dur)
+			tputs = append(tputs, tp)
+			timeouts += f.Sender.LossEvents()
+			if tp < 0.1*fair {
+				starved++
+			}
+		}
+		out = append(out, SubPacketResult{
+			RateBps: rate, Flows: flows,
+			Jain:         stats.JainIndex(tputs),
+			StarvedFlows: starved,
+			Timeouts:     timeouts,
+		})
+	}
+	return out
+}
+
+// WriteSubPacket renders the ablation table.
+func WriteSubPacket(w io.Writer, rows []SubPacketResult) {
+	fmt.Fprintln(w, "abl-subpkt: N Reno flows on sub-packet-BDP links (400ms RTT)")
+	fmt.Fprintf(w, "%12s %6s %7s %9s %9s\n", "link", "flows", "jain", "starved", "timeouts")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%12s %6d %7.3f %9d %9d\n", FmtBps(r.RateBps), r.Flows, r.Jain, r.StarvedFlows, r.Timeouts)
+	}
+}
+
+// JitterResult summarizes the abl-jitter ablation under one shaping
+// configuration: §5.2's observation that flows still contend on
+// latency/jitter even when bandwidth is isolated.
+type JitterResult struct {
+	Shaping string
+	// P50, P99 of the smooth flow's per-ack RTT in milliseconds.
+	P50Ms, P99Ms float64
+	// JitterMs is p99 - p50: the burst-induced delay variation.
+	JitterMs float64
+}
+
+// RunJitter runs the jitter ablation: a smooth low-rate flow shares a
+// token-bucket-shaped queue (and, for comparison, a plain FIFO and a
+// fair queue) with a bursty on-off flow; even when average bandwidth
+// is protected, token-bucket bursts inflate the smooth flow's delay.
+func RunJitter(dur time.Duration) []JitterResult {
+	if dur <= 0 {
+		dur = 30 * time.Second
+	}
+	var out []JitterResult
+	for _, mode := range []string{"fifo", "shaper", "fq"} {
+		const rate = 20e6
+		spec := LinkSpec{RateBps: rate, OneWayDelay: 10 * time.Millisecond, BufferBDP: 4}
+		switch mode {
+		case "shaper":
+			spec.Queue = QueueShaper
+			// Shape the aggregate to 10 Mbit/s with a deep burst
+			// allowance: the token bucket releases accumulated bursts
+			// at line rate.
+			spec.ShapeRateBps = 10e6
+		case "fq":
+			spec.Queue = QueueFQ
+		}
+		d := NewDumbbell(spec)
+		// Smooth flow: low-rate CBR stream (a live-video-like source).
+		smooth := transport.NewFlow(d.Eng, transport.FlowConfig{
+			ID: 1, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
+			ReturnDelay: d.Spec.OneWayDelay,
+			CC:          cca.NewCBR(1e6), Backlogged: true, TraceRTT: true,
+		})
+		smooth.Start()
+		// Bursty flow: on-off Cubic bursts.
+		burstCfg := d.FlowConfig(2, 2, cca.NewCubicCC())
+		trafficOnOff(d, burstCfg)
+		d.Run(dur)
+
+		rtts := smooth.Sender.RTTs.Window(dur/4, dur)
+		for i := range rtts {
+			rtts[i] *= 1000 // ms
+		}
+		p50, _ := stats.Quantile(rtts, 0.5)
+		p99, _ := stats.Quantile(rtts, 0.99)
+		out = append(out, JitterResult{Shaping: mode, P50Ms: p50, P99Ms: p99, JitterMs: p99 - p50})
+	}
+	return out
+}
+
+func trafficOnOff(d *Dumbbell, cfg transport.FlowConfig) {
+	f := transport.NewFlow(d.Eng, cfg)
+	on := true
+	f.Sender.SetBacklogged(true)
+	var flip func()
+	flip = func() {
+		on = !on
+		f.Sender.SetBacklogged(on)
+		d.Eng.Schedule(500*time.Millisecond, flip)
+	}
+	d.Eng.Schedule(500*time.Millisecond, flip)
+}
+
+// WriteJitter renders the ablation table.
+func WriteJitter(w io.Writer, rows []JitterResult) {
+	fmt.Fprintln(w, "abl-jitter: smooth 1 Mbit/s flow sharing with a bursty flow (§5.2)")
+	fmt.Fprintf(w, "%-8s %9s %9s %10s\n", "queue", "p50-rtt", "p99-rtt", "jitter")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %7.1fms %7.1fms %8.1fms\n", r.Shaping, r.P50Ms, r.P99Ms, r.JitterMs)
+	}
+}

@@ -1,0 +1,145 @@
+// Package core assembles the paper's experiments from the substrate
+// packages: scenario construction helpers (dumbbell topologies with
+// selectable queue disciplines), the Figure 1 isolation study, the
+// Figure 2 M-Lab pipeline driver, the Figure 3 elasticity
+// proof-of-concept, and the ablation studies DESIGN.md lists. Both the
+// command-line tools and the benchmark harness call into this package
+// so the printed tables come from a single implementation.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// QueueKind selects the bottleneck queue discipline.
+type QueueKind string
+
+// Queue kinds supported by scenario construction.
+const (
+	QueueDropTail QueueKind = "droptail"
+	QueueFQ       QueueKind = "fq"       // per-flow DRR fair queueing
+	QueueFQCoDel  QueueKind = "fq_codel" // per-flow DRR + per-flow CoDel
+	QueueSFQ      QueueKind = "sfq"      // stochastic fair queueing
+	QueueUserIso  QueueKind = "user-iso" // per-user throttling + isolation
+	QueueShaper   QueueKind = "shaper"   // aggregate token-bucket shaper
+	QueuePolicer  QueueKind = "policer"  // aggregate token-bucket policer
+)
+
+// LinkSpec describes a bottleneck link.
+type LinkSpec struct {
+	// RateBps is the link rate in bits/s.
+	RateBps float64
+	// OneWayDelay is the propagation delay each way; the base RTT is
+	// twice this.
+	OneWayDelay time.Duration
+	// Queue selects the discipline (default droptail).
+	Queue QueueKind
+	// BufferBDP sizes droptail/FQ buffers in bandwidth-delay products
+	// (default 1).
+	BufferBDP float64
+	// ShapeRateBps is the shaper/policer/per-user rate where
+	// applicable (default RateBps/2).
+	ShapeRateBps float64
+}
+
+func (s LinkSpec) norm() LinkSpec {
+	if s.Queue == "" {
+		s.Queue = QueueDropTail
+	}
+	if s.BufferBDP <= 0 {
+		s.BufferBDP = 1
+	}
+	if s.ShapeRateBps <= 0 {
+		s.ShapeRateBps = s.RateBps / 2
+	}
+	return s
+}
+
+// RTT returns the base round-trip time of the link.
+func (s LinkSpec) RTT() time.Duration { return 2 * s.OneWayDelay }
+
+// BuildQdisc constructs the discipline for the spec.
+func BuildQdisc(s LinkSpec) sim.Qdisc {
+	s = s.norm()
+	rtt := s.RTT()
+	bufBytes := int(s.RateBps / 8 * rtt.Seconds() * s.BufferBDP)
+	if bufBytes < 4*sim.MSS {
+		bufBytes = 4 * sim.MSS
+	}
+	switch s.Queue {
+	case QueueFQ:
+		return qdisc.NewDRR(qdisc.ByFlow, sim.MSS, bufBytes)
+	case QueueFQCoDel:
+		return qdisc.NewFQCoDel(qdisc.ByFlow, bufBytes)
+	case QueueSFQ:
+		return qdisc.NewSFQ(128, bufBytes, 1)
+	case QueueUserIso:
+		return qdisc.NewUserIsolation(s.ShapeRateBps, 16*sim.MSS, bufBytes)
+	case QueueShaper:
+		return qdisc.NewTokenBucketShaper(s.ShapeRateBps, 16*sim.MSS, bufBytes)
+	case QueuePolicer:
+		return qdisc.NewTokenBucketPolicer(s.ShapeRateBps, 16*sim.MSS)
+	default:
+		return qdisc.NewDropTail(bufBytes)
+	}
+}
+
+// Dumbbell is a single-bottleneck scenario: every flow traverses one
+// shared link; acknowledgments return after the same propagation
+// delay.
+type Dumbbell struct {
+	Eng  *sim.Engine
+	Link *sim.Link
+	Spec LinkSpec
+}
+
+// NewDumbbell constructs the scenario.
+func NewDumbbell(spec LinkSpec) *Dumbbell {
+	spec = spec.norm()
+	eng := &sim.Engine{}
+	link := sim.NewLink(eng, "bottleneck", spec.RateBps, spec.OneWayDelay, BuildQdisc(spec))
+	return &Dumbbell{Eng: eng, Link: link, Spec: spec}
+}
+
+// FlowConfig returns a transport config for a flow through the
+// bottleneck with the given controller.
+func (d *Dumbbell) FlowConfig(id, userID int, cc transport.CCA) transport.FlowConfig {
+	return transport.FlowConfig{
+		ID:          id,
+		UserID:      userID,
+		Path:        []*sim.Link{d.Link},
+		ReturnDelay: d.Spec.OneWayDelay,
+		CC:          cc,
+	}
+}
+
+// AddBulk adds a persistently backlogged flow.
+func (d *Dumbbell) AddBulk(id, userID int, cc transport.CCA) *transport.Flow {
+	cfg := d.FlowConfig(id, userID, cc)
+	cfg.Backlogged = true
+	f := transport.NewFlow(d.Eng, cfg)
+	f.Start()
+	return f
+}
+
+// Run advances the scenario to the given virtual time.
+func (d *Dumbbell) Run(until time.Duration) { d.Eng.Run(until) }
+
+// FmtBps renders a rate in human units.
+func FmtBps(b float64) string {
+	switch {
+	case b >= 1e9:
+		return fmt.Sprintf("%.2f Gbit/s", b/1e9)
+	case b >= 1e6:
+		return fmt.Sprintf("%.2f Mbit/s", b/1e6)
+	case b >= 1e3:
+		return fmt.Sprintf("%.2f kbit/s", b/1e3)
+	default:
+		return fmt.Sprintf("%.0f bit/s", b)
+	}
+}

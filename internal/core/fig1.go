@@ -1,0 +1,172 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/stats"
+)
+
+// Fig1Config parameterizes the isolation experiment: CCA pairings
+// contend on one access link under different in-network bandwidth
+// management disciplines.
+type Fig1Config struct {
+	// RateBps is the access link rate (default 48 Mbit/s, matching
+	// Figure 3's link).
+	RateBps float64
+	// OneWayDelay is the propagation delay (default 20ms → 40ms RTT).
+	OneWayDelay time.Duration
+	// Duration is the scenario length (default 60s).
+	Duration time.Duration
+	// WarmupFrac excludes the initial fraction from throughput
+	// averaging (default 1/3).
+	WarmupFrac float64
+	// Pairs lists CCA name pairs (default the paper-motivated set).
+	Pairs [][2]string
+	// Queues lists disciplines to compare (default FIFO, FQ,
+	// per-user isolation).
+	Queues []QueueKind
+	// BufferBDP sizes the buffer (default 2 — a bufferbloated access
+	// link, where BBR-vs-Reno asymmetry is pronounced).
+	BufferBDP float64
+}
+
+func (c Fig1Config) norm() Fig1Config {
+	if c.RateBps <= 0 {
+		c.RateBps = 48e6
+	}
+	if c.OneWayDelay <= 0 {
+		c.OneWayDelay = 20 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.WarmupFrac <= 0 || c.WarmupFrac >= 1 {
+		c.WarmupFrac = 1.0 / 3
+	}
+	if len(c.Pairs) == 0 {
+		c.Pairs = [][2]string{
+			{"reno", "reno"},
+			{"reno", "cubic"},
+			{"reno", "bbr"},
+			{"cubic", "bbr"},
+		}
+	}
+	if len(c.Queues) == 0 {
+		c.Queues = []QueueKind{QueueDropTail, QueueFQ, QueueUserIso}
+	}
+	if c.BufferBDP <= 0 {
+		c.BufferBDP = 2
+	}
+	return c
+}
+
+// Fig1Row is one (pair, queue) cell of the experiment.
+type Fig1Row struct {
+	CCA1, CCA2 string
+	Queue      QueueKind
+	Tput1Bps   float64
+	Tput2Bps   float64
+	// Share2 is flow 2's fraction of the combined throughput.
+	Share2 float64
+	// Jain is Jain's fairness index over the two allocations.
+	Jain float64
+	// Harm1 is the harm flow 1 suffers relative to a fair half-link
+	// share.
+	Harm1 float64
+}
+
+// Fig1Result is the full grid.
+type Fig1Result struct {
+	Config Fig1Config
+	Rows   []Fig1Row
+}
+
+// RunFig1 executes the isolation experiment: it quantifies Figure 1's
+// claim that operator bandwidth management (fair queueing, per-user
+// throttling+isolation) removes CCA identity from bandwidth
+// allocation, while FIFO queues let aggressive CCAs dominate.
+func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
+	cfg = cfg.norm()
+	res := &Fig1Result{Config: cfg}
+	for _, pair := range cfg.Pairs {
+		for _, q := range cfg.Queues {
+			row, err := runFig1Cell(cfg, pair, q)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, row)
+		}
+	}
+	return res, nil
+}
+
+func runFig1Cell(cfg Fig1Config, pair [2]string, q QueueKind) (Fig1Row, error) {
+	cc1, err := cca.New(pair[0])
+	if err != nil {
+		return Fig1Row{}, err
+	}
+	cc2, err := cca.New(pair[1])
+	if err != nil {
+		return Fig1Row{}, err
+	}
+	spec := LinkSpec{
+		RateBps:     cfg.RateBps,
+		OneWayDelay: cfg.OneWayDelay,
+		Queue:       q,
+		BufferBDP:   cfg.BufferBDP,
+	}
+	if q == QueueUserIso {
+		// Each flow is a distinct subscriber capped at half the link:
+		// throttling to the purchased rate plus isolation.
+		spec.ShapeRateBps = cfg.RateBps / 2
+	}
+	d := NewDumbbell(spec)
+	f1 := d.AddBulk(1, 1, cc1)
+	f2 := d.AddBulk(2, 2, cc2)
+	d.Run(cfg.Duration)
+
+	from := time.Duration(cfg.WarmupFrac * float64(cfg.Duration))
+	t1 := f1.Throughput(from, cfg.Duration)
+	t2 := f2.Throughput(from, cfg.Duration)
+	total := t1 + t2
+	share2 := 0.0
+	if total > 0 {
+		share2 = t2 / total
+	}
+	fair := cfg.RateBps / 2
+	return Fig1Row{
+		CCA1: pair[0], CCA2: pair[1], Queue: q,
+		Tput1Bps: t1, Tput2Bps: t2,
+		Share2: share2,
+		Jain:   stats.JainIndex([]float64{t1, t2}),
+		Harm1:  stats.Harm(fair, t1),
+	}, nil
+}
+
+// WriteTable renders the grid as the fig1 table.
+func (r *Fig1Result) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "fig1: CCA pairs on a %s access link (%v RTT), 2 backlogged flows\n",
+		FmtBps(r.Config.RateBps), 2*r.Config.OneWayDelay)
+	fmt.Fprintf(w, "%-14s %-10s %12s %12s %8s %7s %7s\n",
+		"pair", "queue", "flow1", "flow2", "share2", "jain", "harm1")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-10s %12s %12s %7.1f%% %7.3f %7.3f\n",
+			row.CCA1+"/"+row.CCA2, string(row.Queue),
+			FmtBps(row.Tput1Bps), FmtBps(row.Tput2Bps),
+			100*row.Share2, row.Jain, row.Harm1)
+	}
+}
+
+// Row returns the row for a pair and queue, or nil.
+func (r *Fig1Result) Row(cca1, cca2 string, q QueueKind) *Fig1Row {
+	for i := range r.Rows {
+		row := &r.Rows[i]
+		if row.CCA1 == cca1 && row.CCA2 == cca2 && row.Queue == q {
+			return row
+		}
+	}
+	return nil
+}

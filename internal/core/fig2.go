@@ -1,0 +1,53 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/mlab"
+)
+
+// Fig2Config parameterizes the M-Lab passive-analysis experiment.
+type Fig2Config struct {
+	// Generator configures the synthetic NDT dataset (default: 9,984
+	// flows, the paper's June 2023 query size).
+	Generator mlab.GeneratorConfig
+	// Analysis configures the pipeline.
+	Analysis mlab.AnalysisConfig
+}
+
+// Fig2Result bundles the dataset-level outcome.
+type Fig2Result struct {
+	Config     Fig2Config
+	Analysis   *mlab.Analysis
+	Validation mlab.Validation
+}
+
+// RunFig2 generates the synthetic NDT dataset and runs the paper's
+// §3.1 pipeline over it: filter application-limited, receiver-limited,
+// and cellular flows, then search the remainder's throughput traces
+// for level shifts.
+func RunFig2(cfg Fig2Config) *Fig2Result {
+	recs := mlab.Generate(cfg.Generator)
+	an := mlab.Analyze(recs, cfg.Analysis)
+	return &Fig2Result{Config: cfg, Analysis: an, Validation: an.Validate()}
+}
+
+// AnalyzeFig2 runs the pipeline over an existing dataset (e.g. loaded
+// from JSONL).
+func AnalyzeFig2(recs []mlab.Record, cfg Fig2Config) *Fig2Result {
+	an := mlab.Analyze(recs, cfg.Analysis)
+	return &Fig2Result{Config: cfg, Analysis: an, Validation: an.Validate()}
+}
+
+// WriteReport renders the Figure 2 style report plus the ground-truth
+// validation unavailable to the paper's real-data analysis.
+func (r *Fig2Result) WriteReport(w io.Writer) {
+	r.Analysis.WriteReport(w)
+	v := r.Validation
+	if v.TruePos+v.FalseNeg+v.FalsePos+v.TrueNeg > 0 {
+		fmt.Fprintf(w, "\nlevel-shift detection vs ground truth (candidates only):\n")
+		fmt.Fprintf(w, "  precision=%.3f recall=%.3f (tp=%d fp=%d fn=%d tn=%d)\n",
+			v.Precision(), v.Recall(), v.TruePos, v.FalsePos, v.FalseNeg, v.TrueNeg)
+	}
+}

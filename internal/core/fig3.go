@@ -1,0 +1,290 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/nimbus"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+)
+
+// Fig3Config parameterizes the elasticity proof-of-concept (Figure 3):
+// a Nimbus probe with mode switching disabled runs continuously on an
+// emulated 48 Mbit/s, 100 ms link while five kinds of cross traffic
+// take 45-second turns.
+type Fig3Config struct {
+	// RateBps is the emulated link rate (default 48 Mbit/s).
+	RateBps float64
+	// OneWayDelay is the propagation delay (default 50ms → 100ms RTT,
+	// the paper's Mahimahi setup).
+	OneWayDelay time.Duration
+	// PhaseDuration is each cross-traffic phase's length (default 45s).
+	PhaseDuration time.Duration
+	// Phases lists the cross-traffic phases in order (default the
+	// paper's five: reno, bbr, video, short flows, cbr).
+	Phases []string
+	// Nimbus overrides the probe configuration; Mu defaults to
+	// RateBps.
+	Nimbus nimbus.Config
+	// Seed drives workload randomness.
+	Seed int64
+	// BufferBDP sizes the droptail buffer (default 1).
+	BufferBDP float64
+}
+
+func (c Fig3Config) norm() Fig3Config {
+	if c.RateBps <= 0 {
+		c.RateBps = 48e6
+	}
+	if c.OneWayDelay <= 0 {
+		c.OneWayDelay = 50 * time.Millisecond
+	}
+	if c.PhaseDuration <= 0 {
+		c.PhaseDuration = 45 * time.Second
+	}
+	if len(c.Phases) == 0 {
+		c.Phases = []string{"reno", "bbr", "video", "short", "cbr"}
+	}
+	if c.Nimbus.Mu <= 0 {
+		c.Nimbus.Mu = c.RateBps
+	}
+	if c.Nimbus.PulseFreq <= 0 {
+		// Nimbus's default pulse frequency (5 Hz) assumes RTTs well
+		// under the pulse period; on this 100ms-RTT link the loaded
+		// RTT approaches 200ms, so elastic cross traffic cannot
+		// complete its control loop within a 5 Hz cycle. 2 Hz keeps
+		// the pulse period comfortably above the loaded RTT (the
+		// abl-pulse bench sweeps this choice).
+		c.Nimbus.PulseFreq = 2
+	}
+	// TargetQDelay is left zero: the controller adapts the standing
+	// queue to 0.4x the observed minRTT (40ms on this link), which
+	// absorbs the pulse troughs (trough deficit = A*mu*T/pi ~= 40ms at
+	// 2 Hz with A=0.25) and keeps the cross-traffic estimate truthful
+	// when the link would otherwise drain.
+	if c.BufferBDP <= 0 {
+		c.BufferBDP = 1
+	}
+	return c
+}
+
+// Fig3Phase is one phase's outcome.
+type Fig3Phase struct {
+	Name       string
+	Start, End time.Duration
+	// MeanEta and MaxEta summarize elasticity values emitted during
+	// the phase (excluding a settling margin at the phase start).
+	MeanEta float64
+	MaxEta  float64
+	// Elastic is the majority classification across the phase's
+	// windows.
+	Elastic bool
+	// Windows is the number of elasticity windows observed.
+	Windows int
+	// CrossTputBps is the cross traffic's achieved throughput.
+	CrossTputBps float64
+	// ProbeTputBps is the probe's achieved throughput.
+	ProbeTputBps float64
+}
+
+// Fig3Result is the full proof-of-concept outcome.
+type Fig3Result struct {
+	Config Fig3Config
+	Phases []Fig3Phase
+	// Eta is the complete elasticity time series.
+	Eta []stats.Sample
+}
+
+// RunFig3 executes the Figure 3 experiment in a single continuous
+// simulation: the probe flow runs throughout; cross traffic starts and
+// stops at phase boundaries.
+func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
+	cfg = cfg.norm()
+	spec := LinkSpec{
+		RateBps:     cfg.RateBps,
+		OneWayDelay: cfg.OneWayDelay,
+		Queue:       QueueDropTail,
+		BufferBDP:   cfg.BufferBDP,
+	}
+	d := NewDumbbell(spec)
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	probeCC := nimbus.NewCCA(cfg.Nimbus)
+	probe := d.AddBulk(1, 1, probeCC)
+
+	// Schedule the cross-traffic phases. Flow IDs from 100 upward;
+	// short flows from 1000 upward.
+	type phaseBounds struct {
+		name       string
+		start, end time.Duration
+		cross      func(from, to time.Duration) float64 // achieved bits/s
+	}
+	var phases []phaseBounds
+	settle := 5 * time.Second // ignore elasticity windows straddling a transition
+
+	for i, name := range cfg.Phases {
+		start := time.Duration(i) * cfg.PhaseDuration
+		end := start + cfg.PhaseDuration
+		pb := phaseBounds{name: name, start: start, end: end}
+		switch name {
+		case "reno", "bbr", "cubic", "newreno", "copa", "vegas":
+			ccName := name
+			var f *transport.Flow
+			d.Eng.ScheduleAt(start, func() {
+				cc, err := cca.New(ccName)
+				if err != nil {
+					panic(err) // names validated below
+				}
+				f = transport.NewFlow(d.Eng, transport.FlowConfig{
+					ID: 100 + i, UserID: 1,
+					Path:        d.FlowConfig(0, 0, nil).Path,
+					ReturnDelay: d.Spec.OneWayDelay,
+					CC:          cc,
+					Backlogged:  true,
+				})
+				f.Start()
+			})
+			d.Eng.ScheduleAt(end, func() {
+				if f != nil {
+					f.Sender.SetBacklogged(false)
+				}
+			})
+			pb.cross = func(from, to time.Duration) float64 {
+				if f == nil {
+					return 0
+				}
+				return f.Throughput(from, to)
+			}
+		case "video":
+			var v *traffic.Video
+			d.Eng.ScheduleAt(start, func() {
+				v = traffic.NewVideo(d.Eng, transport.FlowConfig{
+					ID: 100 + i, UserID: 1,
+					Path:        d.FlowConfig(0, 0, nil).Path,
+					ReturnDelay: d.Spec.OneWayDelay,
+					CC:          cca.NewCubicCC(),
+				}, traffic.VideoConfig{})
+			})
+			d.Eng.ScheduleAt(end, func() {
+				if v != nil {
+					v.Stop()
+					v.Flow.Sender.SetBacklogged(false)
+				}
+			})
+			pb.cross = func(from, to time.Duration) float64 {
+				if v == nil {
+					return 0
+				}
+				return v.Flow.Throughput(from, to)
+			}
+		case "short":
+			var g *traffic.ShortFlows
+			var acked func() int64
+			d.Eng.ScheduleAt(start, func() {
+				g = traffic.NewShortFlows(d.Eng, traffic.ShortFlowsConfig{
+					ArrivalRate: 6,
+					Path:        d.FlowConfig(0, 0, nil).Path,
+					ReturnDelay: d.Spec.OneWayDelay,
+					UserID:      1,
+					NewCC:       func() transport.CCA { return cca.NewRenoCC() },
+					BaseFlowID:  1000 + 1000*i,
+					Rand:        rng,
+				})
+				_ = acked
+			})
+			d.Eng.ScheduleAt(end, func() {
+				if g != nil {
+					g.Stop()
+				}
+			})
+			gp := &g
+			pb.cross = func(from, to time.Duration) float64 {
+				if *gp == nil {
+					return 0
+				}
+				return float64((*gp).TotalBytes) * 8 / cfg.PhaseDuration.Seconds()
+			}
+		case "cbr":
+			var f *transport.Flow
+			d.Eng.ScheduleAt(start, func() {
+				f = transport.NewFlow(d.Eng, transport.FlowConfig{
+					ID: 100 + i, UserID: 1,
+					Path:        d.FlowConfig(0, 0, nil).Path,
+					ReturnDelay: d.Spec.OneWayDelay,
+					CC:          cca.NewCBR(0.4 * cfg.RateBps),
+					Backlogged:  true,
+				})
+				f.Start()
+			})
+			d.Eng.ScheduleAt(end, func() {
+				if f != nil {
+					f.Sender.SetBacklogged(false)
+				}
+			})
+			pb.cross = func(from, to time.Duration) float64 {
+				if f == nil {
+					return 0
+				}
+				return f.Throughput(from, to)
+			}
+		case "idle":
+			pb.cross = func(from, to time.Duration) float64 { return 0 }
+		default:
+			return nil, fmt.Errorf("core: unknown fig3 phase %q", name)
+		}
+		phases = append(phases, pb)
+	}
+
+	total := time.Duration(len(cfg.Phases)) * cfg.PhaseDuration
+	d.Run(total)
+
+	res := &Fig3Result{Config: cfg, Eta: probeCC.Est.Elasticity.Samples()}
+	for _, pb := range phases {
+		ph := Fig3Phase{Name: pb.name, Start: pb.start, End: pb.end}
+		etas := probeCC.Est.Elasticity.Window(pb.start+settle, pb.end)
+		ph.Windows = len(etas)
+		if len(etas) > 0 {
+			ph.MeanEta = stats.Mean(etas)
+			m, _ := stats.Max(etas)
+			ph.MaxEta = m
+			elasticCount := 0
+			for _, e := range etas {
+				if e >= probeCC.Est.Config().EtaThreshold {
+					elasticCount++
+				}
+			}
+			ph.Elastic = elasticCount*2 > len(etas)
+		}
+		ph.CrossTputBps = pb.cross(pb.start+settle, pb.end)
+		ph.ProbeTputBps = probe.Throughput(pb.start+settle, pb.end)
+		res.Phases = append(res.Phases, ph)
+	}
+	return res, nil
+}
+
+// WriteTable renders the per-phase summary.
+func (r *Fig3Result) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "fig3: Nimbus elasticity probe (mode switching disabled) on a %s, %v-RTT link\n",
+		FmtBps(r.Config.RateBps), 2*r.Config.OneWayDelay)
+	fmt.Fprintf(w, "%-8s %8s %8s %8s %9s %12s %12s\n",
+		"phase", "windows", "mean-eta", "max-eta", "elastic?", "cross-tput", "probe-tput")
+	for _, p := range r.Phases {
+		fmt.Fprintf(w, "%-8s %8d %8.3f %8.3f %9v %12s %12s\n",
+			p.Name, p.Windows, p.MeanEta, p.MaxEta, p.Elastic,
+			FmtBps(p.CrossTputBps), FmtBps(p.ProbeTputBps))
+	}
+}
+
+// WriteSeries renders the elasticity time series (time, eta) rows for
+// plotting the figure.
+func (r *Fig3Result) WriteSeries(w io.Writer) {
+	fmt.Fprintln(w, "# time_s eta")
+	for _, s := range r.Eta {
+		fmt.Fprintf(w, "%.2f %.4f\n", s.At.Seconds(), s.Value)
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/contention"
+	"repro/internal/nimbus"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+)
+
+// OracleConfig parameterizes the probe-accuracy study: a battery of
+// randomized scenarios where the simulator's ground-truth contention
+// oracle scores the elasticity probe's verdicts — the validation the
+// paper's proposed Internet-scale study cannot run, and the reason the
+// emulator exists.
+type OracleConfig struct {
+	// Trials is the number of random scenarios (default 30).
+	Trials int
+	// Duration is each scenario's length (default 40s).
+	Duration time.Duration
+	// Seed drives scenario randomization.
+	Seed int64
+}
+
+func (c OracleConfig) norm() OracleConfig {
+	if c.Trials <= 0 {
+		c.Trials = 30
+	}
+	if c.Duration <= 0 {
+		c.Duration = 40 * time.Second
+	}
+	return c
+}
+
+// OracleTrial is one scenario's outcome.
+type OracleTrial struct {
+	// Cross describes the cross-traffic kind.
+	Cross string
+	// RateBps and RTT describe the link.
+	RateBps float64
+	RTT     time.Duration
+	// TruthElastic is the ground truth: does backlogged CCA-driven
+	// cross traffic share the probe's queue?
+	TruthElastic bool
+	// ProbeElastic is the probe's majority verdict.
+	ProbeElastic bool
+	// MeanEta is the mean elasticity across windows.
+	MeanEta float64
+}
+
+// OracleResult is the study outcome.
+type OracleResult struct {
+	Config OracleConfig
+	Trials []OracleTrial
+	Score  contention.Score
+}
+
+// RunOracle executes the study.
+func RunOracle(cfg OracleConfig) (*OracleResult, error) {
+	cfg = cfg.norm()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	res := &OracleResult{Config: cfg}
+
+	kinds := []string{"none", "reno", "cubic", "bbr", "video", "cbr", "short"}
+	for i := 0; i < cfg.Trials; i++ {
+		kind := kinds[rng.Intn(len(kinds))]
+		rate := []float64{24e6, 48e6, 96e6}[rng.Intn(3)]
+		owd := []time.Duration{20, 35, 50}[rng.Intn(3)] * time.Millisecond
+		trial, err := runOracleTrial(cfg, rng.Int63(), kind, rate, owd)
+		if err != nil {
+			return nil, err
+		}
+		res.Trials = append(res.Trials, trial)
+		res.Score.Add(trial.TruthElastic, trial.ProbeElastic)
+	}
+	return res, nil
+}
+
+func runOracleTrial(cfg OracleConfig, seed int64, kind string, rate float64, owd time.Duration) (OracleTrial, error) {
+	d := NewDumbbell(LinkSpec{RateBps: rate, OneWayDelay: owd, Queue: QueueDropTail, BufferBDP: 1})
+	rng := rand.New(rand.NewSource(seed))
+
+	ncfg := nimbus.Config{Mu: rate, PulseFreq: 2}
+	probeCC := nimbus.NewCCA(ncfg)
+	probe := d.AddBulk(1, 1, probeCC)
+	_ = probe
+
+	truth := false
+	switch kind {
+	case "none":
+	case "reno", "cubic", "bbr":
+		cc, err := cca.New(kind)
+		if err != nil {
+			return OracleTrial{}, err
+		}
+		f := transport.NewFlow(d.Eng, transport.FlowConfig{
+			ID: 2, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
+			ReturnDelay: owd, CC: cc, Backlogged: true,
+		})
+		f.Start()
+		truth = true
+	case "video":
+		traffic.NewVideo(d.Eng, transport.FlowConfig{
+			ID: 2, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
+			ReturnDelay: owd, CC: cca.NewCubicCC(),
+		}, traffic.VideoConfig{})
+	case "cbr":
+		f := transport.NewFlow(d.Eng, transport.FlowConfig{
+			ID: 2, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
+			ReturnDelay: owd, CC: cca.NewCBR((0.2 + 0.4*rng.Float64()) * rate), Backlogged: true,
+		})
+		f.Start()
+	case "short":
+		traffic.NewShortFlows(d.Eng, traffic.ShortFlowsConfig{
+			ArrivalRate: 4, Path: d.FlowConfig(0, 0, nil).Path, ReturnDelay: owd,
+			UserID: 1, NewCC: func() transport.CCA { return cca.NewRenoCC() },
+			BaseFlowID: 1000, Rand: rng,
+		})
+	default:
+		return OracleTrial{}, fmt.Errorf("core: unknown oracle cross kind %q", kind)
+	}
+
+	d.Run(cfg.Duration)
+
+	etas := probeCC.Est.Elasticity.Window(10*time.Second, cfg.Duration)
+	trial := OracleTrial{Cross: kind, RateBps: rate, RTT: 2 * owd, TruthElastic: truth}
+	if len(etas) > 0 {
+		var sum float64
+		elastic := 0
+		for _, e := range etas {
+			sum += e
+			if e >= probeCC.Est.Config().EtaThreshold {
+				elastic++
+			}
+		}
+		trial.MeanEta = sum / float64(len(etas))
+		trial.ProbeElastic = elastic*2 > len(etas)
+	}
+	return trial, nil
+}
+
+// WriteTable renders per-trial rows and the aggregate score.
+func (r *OracleResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "oracle study: elasticity probe vs ground truth, %d trials\n", len(r.Trials))
+	fmt.Fprintf(w, "%-7s %12s %7s %7s %9s %8s\n", "cross", "link", "rtt", "truth", "verdict", "mean-eta")
+	for _, t := range r.Trials {
+		fmt.Fprintf(w, "%-7s %12s %7v %7v %9v %8.3f\n",
+			t.Cross, FmtBps(t.RateBps), t.RTT, t.TruthElastic, t.ProbeElastic, t.MeanEta)
+	}
+	fmt.Fprintf(w, "\nprecision=%.3f recall=%.3f accuracy=%.3f f1=%.3f (tp=%d fp=%d tn=%d fn=%d)\n",
+		r.Score.Precision(), r.Score.Recall(), r.Score.Accuracy(), r.Score.F1(),
+		r.Score.TP, r.Score.FP, r.Score.TN, r.Score.FN)
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/nimbus"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+	"repro/internal/tslp"
+)
+
+// TSLPConfig parameterizes the congestion-vs-contention comparison:
+// the paper's §1 distinction made measurable. Three scenarios load the
+// same link — backlogged CCA flows (contention), an aggregate of short
+// application-limited flows (congestion without contention), and an
+// idle link — and two instruments look at it: TSLP (latency
+// inflation) and the Nimbus elasticity probe.
+type TSLPConfig struct {
+	// RateBps is the link rate (default 48 Mbit/s).
+	RateBps float64
+	// OneWayDelay is the propagation delay (default 25ms).
+	OneWayDelay time.Duration
+	// Duration is each scenario's length (default 40s).
+	Duration time.Duration
+	// Seed drives workload randomness.
+	Seed int64
+}
+
+func (c TSLPConfig) norm() TSLPConfig {
+	if c.RateBps <= 0 {
+		c.RateBps = 48e6
+	}
+	if c.OneWayDelay <= 0 {
+		c.OneWayDelay = 25 * time.Millisecond
+	}
+	if c.Duration <= 0 {
+		c.Duration = 40 * time.Second
+	}
+	return c
+}
+
+// TSLPRow is one scenario's verdicts.
+type TSLPRow struct {
+	Scenario string
+	// TruthContention is the ground truth: backlogged CCA-driven flows
+	// share the queue.
+	TruthContention bool
+	// TSLPCongested is TSLP's verdict (latency inflation).
+	TSLPCongested bool
+	// TSLPP90Ms is the p90 latency differential.
+	TSLPP90Ms float64
+	// ProbeElastic is the elasticity probe's verdict.
+	ProbeElastic bool
+	// ProbeOverloaded flags the non-yielding regime: the windowed
+	// cross-traffic estimate persistently exceeds the link capacity,
+	// which no CCA-controlled traffic does (it would back off). The
+	// spectral eta is unreliable there, and the semantically correct
+	// reading is "congestion managed upstream, not flow contention".
+	ProbeOverloaded bool
+	// ProbeEta is the mean elasticity.
+	ProbeEta float64
+}
+
+// TSLPResult is the experiment outcome.
+type TSLPResult struct {
+	Config TSLPConfig
+	Rows   []TSLPRow
+}
+
+// RunTSLP executes the comparison.
+func RunTSLP(cfg TSLPConfig) (*TSLPResult, error) {
+	cfg = cfg.norm()
+	res := &TSLPResult{Config: cfg}
+	for _, sc := range []string{"contention", "aggregate", "idle"} {
+		row, err := runTSLPScenario(cfg, sc)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// addTSLPScenarioTraffic installs the scenario's cross traffic on a
+// dumbbell. It returns whether the scenario's ground truth is CCA
+// contention.
+func addTSLPScenarioTraffic(d *Dumbbell, cfg TSLPConfig, scenario string, seed int64) (bool, error) {
+	rng := rand.New(rand.NewSource(seed))
+	switch scenario {
+	case "contention":
+		for i := 0; i < 2; i++ {
+			cc, err := cca.New([]string{"reno", "cubic"}[i])
+			if err != nil {
+				return false, err
+			}
+			f := transport.NewFlow(d.Eng, transport.FlowConfig{
+				ID: 2 + i, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
+				ReturnDelay: cfg.OneWayDelay, CC: cc, Backlogged: true,
+			})
+			f.Start()
+		}
+		return true, nil
+	case "aggregate":
+		// A dense aggregate of IW-bound web flows whose offered load
+		// exceeds the link: congestion with no flow long enough for
+		// CCA dynamics to govern its share — the overloaded
+		// peering-link scenario from §1.
+		traffic.NewShortFlows(d.Eng, traffic.ShortFlowsConfig{
+			ArrivalRate: 3600,
+			Sizes:       traffic.FixedSize(3000), // 2 packets: inside IW
+			Path:        d.FlowConfig(0, 0, nil).Path,
+			ReturnDelay: cfg.OneWayDelay,
+			UserID:      2,
+			NewCC:       func() transport.CCA { return cca.NewRenoCC() },
+			BaseFlowID:  1000,
+			Rand:        rng,
+			OpenLoop:    true, // fire-and-forget bursts: exogenous load
+		})
+		return false, nil
+	case "idle":
+		return false, nil
+	default:
+		return false, fmt.Errorf("core: unknown tslp scenario %q", scenario)
+	}
+}
+
+// runTSLPScenario measures the scenario with each instrument in its
+// own simulation: TSLP is a third-party passive observer, while the
+// elasticity probe is an active participant — running them together
+// would have TSLP measuring the probe's own standing queue.
+func runTSLPScenario(cfg TSLPConfig, scenario string) (TSLPRow, error) {
+	row := TSLPRow{Scenario: scenario}
+	warm := cfg.Duration / 4
+
+	// Instrument 1: TSLP alone with the scenario traffic.
+	d1 := NewDumbbell(LinkSpec{RateBps: cfg.RateBps, OneWayDelay: cfg.OneWayDelay, BufferBDP: 1})
+	truth, err := addTSLPScenarioTraffic(d1, cfg, scenario, cfg.Seed)
+	if err != nil {
+		return row, err
+	}
+	row.TruthContention = truth
+	prober := tslp.NewProber(d1.Eng, d1.Link, 9999, tslp.Config{})
+	d1.Run(cfg.Duration)
+	v := prober.Verdict(warm, cfg.Duration)
+	row.TSLPCongested = v.Congested
+	row.TSLPP90Ms = v.P90Ms
+
+	// Instrument 2: the active elasticity probe with the same traffic.
+	d2 := NewDumbbell(LinkSpec{RateBps: cfg.RateBps, OneWayDelay: cfg.OneWayDelay, BufferBDP: 1})
+	if _, err := addTSLPScenarioTraffic(d2, cfg, scenario, cfg.Seed); err != nil {
+		return row, err
+	}
+	probeCC := nimbus.NewCCA(nimbus.Config{Mu: cfg.RateBps, PulseFreq: 2})
+	d2.AddBulk(1, 1, probeCC)
+	d2.Run(cfg.Duration)
+	etas := probeCC.Est.Elasticity.Window(warm, cfg.Duration)
+	if len(etas) > 0 {
+		row.ProbeEta = stats.Mean(etas)
+		elastic := 0
+		for _, e := range etas {
+			if e >= probeCC.Est.Config().EtaThreshold {
+				elastic++
+			}
+		}
+		row.ProbeElastic = elastic*2 > len(etas)
+	}
+	if probeCC.Est.OverloadFactor() > 1.05 {
+		row.ProbeOverloaded = true
+		row.ProbeElastic = false
+	}
+	return row, nil
+}
+
+// WriteTable renders the comparison. The key row is "aggregate":
+// TSLP flags congestion, the elasticity probe correctly reports no
+// CCA contention.
+func (r *TSLPResult) WriteTable(w io.Writer) {
+	fmt.Fprintf(w, "exp-tslp (§4): congestion detection vs contention detection on a %s link\n",
+		FmtBps(r.Config.RateBps))
+	fmt.Fprintf(w, "%-11s %10s %14s %10s %13s %9s\n",
+		"scenario", "truth", "tslp-verdict", "tslp-p90", "probe-verdict", "mean-eta")
+	for _, row := range r.Rows {
+		tslpV := "quiet"
+		if row.TSLPCongested {
+			tslpV = "congested"
+		}
+		probeV := "inelastic"
+		if row.ProbeElastic {
+			probeV = "ELASTIC"
+		}
+		if row.ProbeOverloaded {
+			probeV = "overloaded"
+		}
+		truth := "none"
+		if row.TruthContention {
+			truth = "contention"
+		}
+		fmt.Fprintf(w, "%-11s %10s %14s %8.1fms %13s %9.3f\n",
+			row.Scenario, truth, tslpV, row.TSLPP90Ms, probeV, row.ProbeEta)
+	}
+}

@@ -1,0 +1,181 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Hann returns an n-point Hann window. For n <= 1 it returns a window
+// of ones (degenerate but safe).
+func Hann(n int) []float64 {
+	w := make([]float64, n)
+	if n <= 1 {
+		for i := range w {
+			w[i] = 1
+		}
+		return w
+	}
+	for i := range w {
+		w[i] = 0.5 * (1 - math.Cos(2*math.Pi*float64(i)/float64(n-1)))
+	}
+	return w
+}
+
+// ApplyWindow multiplies x element-wise by window w into a new slice.
+// The shorter length governs.
+func ApplyWindow(x, w []float64) []float64 {
+	n := len(x)
+	if len(w) < n {
+		n = len(w)
+	}
+	out := make([]float64, n)
+	for i := 0; i < n; i++ {
+		out[i] = x[i] * w[i]
+	}
+	return out
+}
+
+// Detrend subtracts the mean of x, returning a new slice. Removing the
+// DC component before the FFT keeps spectral leakage from the (large)
+// mean value out of the pulse-frequency bin.
+func Detrend(x []float64) []float64 {
+	if len(x) == 0 {
+		return nil
+	}
+	var mean float64
+	for _, v := range x {
+		mean += v
+	}
+	mean /= float64(len(x))
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = v - mean
+	}
+	return out
+}
+
+// Spectrum holds the single-sided amplitude spectrum of a real signal.
+type Spectrum struct {
+	// Amp[i] is the amplitude at frequency Freq(i). Amp has n/2+1 bins
+	// for an n-point transform.
+	Amp []float64
+	// SampleRate is the sample rate of the analyzed signal in Hz.
+	SampleRate float64
+	// N is the transform length.
+	N int
+}
+
+// AmplitudeSpectrum computes the single-sided amplitude spectrum of the
+// real signal x sampled at sampleRate Hz. x is zero-padded to the next
+// power of two. Amplitudes are normalized so a pure sinusoid of
+// amplitude A yields a bin amplitude of approximately A.
+func AmplitudeSpectrum(x []float64, sampleRate float64) (*Spectrum, error) {
+	n := NextPowerOfTwo(len(x))
+	padded := make([]float64, n)
+	copy(padded, x)
+	X, err := FFTReal(padded)
+	if err != nil {
+		return nil, err
+	}
+	half := n/2 + 1
+	amp := make([]float64, half)
+	// Normalize by the number of real samples, not the padded length,
+	// so zero padding does not dilute amplitude.
+	norm := float64(len(x))
+	if norm == 0 {
+		norm = 1
+	}
+	for i := 0; i < half; i++ {
+		a := cmplx.Abs(X[i]) / norm
+		if i != 0 && i != n/2 {
+			a *= 2 // fold the negative-frequency half in
+		}
+		amp[i] = a
+	}
+	return &Spectrum{Amp: amp, SampleRate: sampleRate, N: n}, nil
+}
+
+// Freq returns the center frequency in Hz of bin i.
+func (s *Spectrum) Freq(i int) float64 {
+	return float64(i) * s.SampleRate / float64(s.N)
+}
+
+// Bin returns the index of the bin whose center frequency is nearest to
+// f Hz, clamped to the valid range.
+func (s *Spectrum) Bin(f float64) int {
+	if s.N == 0 || s.SampleRate <= 0 {
+		return 0
+	}
+	i := int(math.Round(f * float64(s.N) / s.SampleRate))
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(s.Amp) {
+		i = len(s.Amp) - 1
+	}
+	return i
+}
+
+// AmplitudeAt returns the peak amplitude within +-halfWidth bins around
+// frequency f. A small search window tolerates frequency quantization
+// between the pulse frequency and the FFT bin grid.
+func (s *Spectrum) AmplitudeAt(f float64, halfWidth int) float64 {
+	c := s.Bin(f)
+	lo, hi := c-halfWidth, c+halfWidth
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= len(s.Amp) {
+		hi = len(s.Amp) - 1
+	}
+	var m float64
+	for i := lo; i <= hi; i++ {
+		if s.Amp[i] > m {
+			m = s.Amp[i]
+		}
+	}
+	return m
+}
+
+// PhaseAt returns the phase (radians) of the strongest bin within
+// +-halfWidth bins of frequency f, from the raw complex spectrum X of
+// an n-point transform sampled at sampleRate.
+func PhaseAt(X []complex128, sampleRate float64, n int, f float64, halfWidth int) float64 {
+	if n == 0 || sampleRate <= 0 {
+		return 0
+	}
+	c := int(math.Round(f * float64(n) / sampleRate))
+	lo, hi := c-halfWidth, c+halfWidth
+	if lo < 1 {
+		lo = 1
+	}
+	if hi > n/2 {
+		hi = n / 2
+	}
+	best := lo
+	var bestMag float64
+	for i := lo; i <= hi && i < len(X); i++ {
+		if m := cmplx.Abs(X[i]); m > bestMag {
+			bestMag = m
+			best = i
+		}
+	}
+	if best >= len(X) {
+		return 0
+	}
+	return cmplx.Phase(X[best])
+}
+
+// TotalPower returns the sum of squared bin amplitudes excluding DC,
+// a rough broadband energy measure used for normalization sanity
+// checks.
+func (s *Spectrum) TotalPower() float64 {
+	var p float64
+	for i, a := range s.Amp {
+		if i == 0 {
+			continue
+		}
+		p += a * a
+	}
+	return p
+}

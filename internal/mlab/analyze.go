@@ -1,0 +1,261 @@
+package mlab
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/changepoint"
+	"repro/internal/stats"
+)
+
+// Category is the analysis pipeline's classification of a flow —
+// assigned exactly as §3.1 describes, using only observable fields.
+type Category string
+
+// Pipeline categories, in filtering order.
+const (
+	CatShort       Category = "short"        // too brief for CCA dynamics to matter
+	CatAppLimited  Category = "app-limited"  // AppLimited > 0
+	CatRWndLimited Category = "rwnd-limited" // RWndLimited > 0
+	CatCellular    Category = "cellular"     // inferred cellular access
+	CatStable      Category = "stable"       // remainder, no throughput level change
+	CatLevelShift  Category = "level-shift"  // remainder, throughput level changed
+)
+
+// AnalysisConfig tunes the Figure 2 pipeline.
+type AnalysisConfig struct {
+	// MinDuration excludes shorter flows as "short" (default 2s).
+	MinDuration time.Duration
+	// MinShiftFrac is the relative difference between adjacent segment
+	// means required to count a detected breakpoint as a real level
+	// shift (default 0.2).
+	MinShiftFrac float64
+	// MinSegment is the change-point detector's minimum segment length
+	// in snapshots (default 10, i.e. 1s at the NDT cadence).
+	MinSegment int
+	// PenaltyScale scales the BIC penalty (default 1).
+	PenaltyScale float64
+	// Detector selects the change-point algorithm: "pelt" (default),
+	// "binseg", or "window".
+	Detector string
+}
+
+func (c AnalysisConfig) norm() AnalysisConfig {
+	if c.MinDuration <= 0 {
+		c.MinDuration = 2 * time.Second
+	}
+	if c.MinShiftFrac <= 0 {
+		c.MinShiftFrac = 0.2
+	}
+	if c.MinSegment <= 0 {
+		c.MinSegment = 10
+	}
+	if c.PenaltyScale <= 0 {
+		c.PenaltyScale = 1
+	}
+	if c.Detector == "" {
+		c.Detector = "pelt"
+	}
+	return c
+}
+
+// FlowResult is the pipeline's verdict for one record.
+type FlowResult struct {
+	ID       string
+	Category Category
+	// Breakpoints are snapshot indices of accepted level shifts.
+	Breakpoints []int
+	// ShiftMagnitudes are the relative magnitudes of accepted shifts.
+	ShiftMagnitudes []float64
+	// Truth is the generator label, carried through for validation.
+	Truth Label
+}
+
+// Analysis is the aggregate outcome of running the pipeline on a
+// dataset.
+type Analysis struct {
+	Total   int
+	ByCat   map[Category]int
+	Results []FlowResult
+	// ShiftCDF collects relative shift magnitudes across flows with
+	// level shifts.
+	ShiftCDF *stats.CDF
+	cfg      AnalysisConfig
+}
+
+// Analyze runs the paper's passive pipeline over the dataset: exclude
+// short, application-limited, receiver-limited, and cellular flows;
+// run change-point detection on the remainder's throughput traces;
+// flag flows whose throughput level shifted.
+func Analyze(recs []Record, cfg AnalysisConfig) *Analysis {
+	cfg = cfg.norm()
+	a := &Analysis{
+		Total:    len(recs),
+		ByCat:    make(map[Category]int),
+		ShiftCDF: stats.NewCDF(nil),
+		cfg:      cfg,
+	}
+	for i := range recs {
+		r := &recs[i]
+		res := analyzeOne(r, cfg)
+		a.ByCat[res.Category]++
+		if res.Category == CatLevelShift {
+			for _, m := range res.ShiftMagnitudes {
+				a.ShiftCDF.Add(m)
+			}
+		}
+		a.Results = append(a.Results, res)
+	}
+	return a
+}
+
+func analyzeOne(r *Record, cfg AnalysisConfig) FlowResult {
+	res := FlowResult{ID: r.ID, Truth: r.TruthLabel}
+	final := r.FinalSnapshot()
+	switch {
+	case r.Duration < cfg.MinDuration:
+		res.Category = CatShort
+	case final.AppLimited > 0:
+		res.Category = CatAppLimited
+	case final.RWndLimited > 0:
+		res.Category = CatRWndLimited
+	case r.Access == AccessCellular:
+		res.Category = CatCellular
+	default:
+		res.Category = CatStable
+		trace := r.ThroughputTrace()
+		bps := detect(trace, cfg)
+		means := changepoint.SegmentMeans(trace, bps)
+		// Accept a breakpoint only when adjacent segment means differ
+		// by MinShiftFrac relative to the larger one.
+		for k, b := range bps {
+			hi := means[k]
+			lo := means[k+1]
+			if lo > hi {
+				hi, lo = lo, hi
+			}
+			if hi <= 0 {
+				continue
+			}
+			mag := (hi - lo) / hi
+			if mag >= cfg.MinShiftFrac {
+				res.Breakpoints = append(res.Breakpoints, b)
+				res.ShiftMagnitudes = append(res.ShiftMagnitudes, mag)
+			}
+		}
+		if len(res.Breakpoints) > 0 {
+			res.Category = CatLevelShift
+		}
+	}
+	return res
+}
+
+func detect(trace []float64, cfg AnalysisConfig) []int {
+	sigma2 := changepoint.EstimateNoise(trace)
+	pen := cfg.PenaltyScale * changepoint.BICPenalty(len(trace), sigma2) * float64(cfg.MinSegment)
+	switch cfg.Detector {
+	case "binseg":
+		return changepoint.BinSeg(trace, pen, cfg.MinSegment, 8)
+	case "window":
+		// Threshold in mean-shift units: a few sigma.
+		thr := 4 * math.Sqrt(sigma2)
+		return changepoint.Window(trace, cfg.MinSegment, thr)
+	default:
+		return changepoint.PELT(trace, pen, cfg.MinSegment)
+	}
+}
+
+// Fraction returns the fraction of flows in the given category.
+func (a *Analysis) Fraction(c Category) float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.ByCat[c]) / float64(a.Total)
+}
+
+// Validation compares the pipeline's level-shift verdicts against the
+// generator's ground truth (synthetic datasets only).
+type Validation struct {
+	TruePos, FalsePos, TrueNeg, FalseNeg int
+}
+
+// Precision returns TP/(TP+FP), or 0 when undefined.
+func (v Validation) Precision() float64 {
+	d := v.TruePos + v.FalsePos
+	if d == 0 {
+		return 0
+	}
+	return float64(v.TruePos) / float64(d)
+}
+
+// Recall returns TP/(TP+FN), or 0 when undefined.
+func (v Validation) Recall() float64 {
+	d := v.TruePos + v.FalseNeg
+	if d == 0 {
+		return 0
+	}
+	return float64(v.TruePos) / float64(d)
+}
+
+// Validate scores level-shift detection against ground truth over the
+// flows that reached the change-point stage (i.e. categorized stable
+// or level-shift). A "positive" is a contending flow.
+func (a *Analysis) Validate() Validation {
+	var v Validation
+	for _, r := range a.Results {
+		if r.Category != CatStable && r.Category != CatLevelShift {
+			continue
+		}
+		truthPositive := r.Truth == LabelContending || r.Truth == LabelPoliced
+		detected := r.Category == CatLevelShift
+		switch {
+		case truthPositive && detected:
+			v.TruePos++
+		case truthPositive && !detected:
+			v.FalseNeg++
+		case !truthPositive && detected:
+			v.FalsePos++
+		default:
+			v.TrueNeg++
+		}
+	}
+	return v
+}
+
+// WriteReport renders the Figure 2 style summary to w: the category
+// breakdown and the level-shift statistics among candidate flows.
+func (a *Analysis) WriteReport(w io.Writer) {
+	fmt.Fprintf(w, "M-Lab NDT passive analysis (%d flows)\n", a.Total)
+	fmt.Fprintf(w, "%-14s %8s %8s\n", "category", "flows", "frac")
+	cats := []Category{CatShort, CatAppLimited, CatRWndLimited, CatCellular, CatStable, CatLevelShift}
+	for _, c := range cats {
+		fmt.Fprintf(w, "%-14s %8d %7.1f%%\n", c, a.ByCat[c], 100*a.Fraction(c))
+	}
+	candidates := a.ByCat[CatStable] + a.ByCat[CatLevelShift]
+	total := a.Total
+	if total < 1 {
+		total = 1
+	}
+	fmt.Fprintf(w, "\ncandidate (non-excluded) flows: %d (%.1f%%)\n", candidates, 100*float64(candidates)/float64(total))
+	if candidates > 0 {
+		fmt.Fprintf(w, "with throughput level shift:    %d (%.1f%% of candidates)\n",
+			a.ByCat[CatLevelShift], 100*float64(a.ByCat[CatLevelShift])/float64(candidates))
+	}
+	if a.ShiftCDF.Len() > 0 {
+		fmt.Fprintf(w, "shift magnitude CDF: %v\n", a.ShiftCDF)
+	}
+}
+
+// CategoryOrder returns pipeline categories in display order.
+func CategoryOrder() []Category {
+	return []Category{CatShort, CatAppLimited, CatRWndLimited, CatCellular, CatStable, CatLevelShift}
+}
+
+// SortResultsByID orders results deterministically (generation order is
+// already deterministic; this helps after map-based regrouping).
+func SortResultsByID(rs []FlowResult) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].ID < rs[j].ID })
+}

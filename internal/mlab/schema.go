@@ -1,0 +1,116 @@
+// Package mlab models the M-Lab NDT measurement data the paper's
+// passive analysis (§3.1) consumes: per-flow records carrying TCP_INFO
+// snapshot streams, JSONL encoding for datasets on disk, a synthetic
+// dataset generator standing in for the (network-gated) real archive,
+// and the filtering + change-point analysis pipeline itself.
+//
+// The real M-Lab NDT dataset requires BigQuery access; the generator
+// reproduces the schema and the behavioural mixture the paper
+// describes (application-limited, receiver-limited, cellular, steady
+// bulk, contending, and policed flows) while retaining ground-truth
+// labels so the pipeline's classification can be validated — something
+// impossible with the real data.
+package mlab
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/tcpinfo"
+)
+
+// Label is the generator's ground-truth flow class. The analysis
+// pipeline never reads it; validation code does.
+type Label string
+
+// Ground-truth labels for synthetic flows.
+const (
+	LabelAppLimited  Label = "app-limited"  // e.g. video: bounded offered load
+	LabelRWndLimited Label = "rwnd-limited" // slow receiving application
+	LabelCellular    Label = "cellular"     // isolated, variable radio link
+	LabelSteady      Label = "steady"       // bulk flow, stable allocation
+	LabelContending  Label = "contending"   // bulk flow whose share shifts as competitors come and go
+	LabelPoliced     Label = "policed"      // token-bucket policed mid-flow
+	LabelShort       Label = "short"        // finishes within the initial window
+)
+
+// AccessType categorizes the client's access network, mirroring the
+// inference the paper applies to exclude cellular clients.
+type AccessType string
+
+// Access network types.
+const (
+	AccessWifi     AccessType = "wifi"
+	AccessEthernet AccessType = "ethernet"
+	AccessCellular AccessType = "cellular"
+	AccessSat      AccessType = "satellite"
+)
+
+// Record is one NDT-style measurement: a download test with TCP_INFO
+// snapshots over its lifetime.
+type Record struct {
+	// ID uniquely identifies the test.
+	ID string `json:"id"`
+	// Start is the test's start time.
+	Start time.Time `json:"start"`
+	// Duration is the test length.
+	Duration time.Duration `json:"duration"`
+	// Access is the inferred access-network type.
+	Access AccessType `json:"access"`
+	// Snapshots is the TCP_INFO stream, typically one per 100ms.
+	Snapshots []tcpinfo.Snapshot `json:"snapshots"`
+	// MeanThroughputBps is the test's overall delivery rate.
+	MeanThroughputBps float64 `json:"mean_throughput_bps"`
+	// TruthLabel is the generator's ground truth (empty for real
+	// data). Analysis code must not consult it.
+	TruthLabel Label `json:"truth_label,omitempty"`
+}
+
+// FinalSnapshot returns the last snapshot, or a zero value if none.
+func (r *Record) FinalSnapshot() tcpinfo.Snapshot {
+	if len(r.Snapshots) == 0 {
+		return tcpinfo.Snapshot{}
+	}
+	return r.Snapshots[len(r.Snapshots)-1]
+}
+
+// ThroughputTrace extracts the per-snapshot throughput series in
+// bits/s.
+func (r *Record) ThroughputTrace() []float64 {
+	out := make([]float64, len(r.Snapshots))
+	for i, s := range r.Snapshots {
+		out[i] = s.ThroughputBps
+	}
+	return out
+}
+
+// WriteJSONL encodes records one-per-line to w.
+func WriteJSONL(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return fmt.Errorf("mlab: encoding record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL decodes a JSONL dataset from r.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	var recs []Record
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err != nil {
+			if err == io.EOF {
+				return recs, nil
+			}
+			return nil, fmt.Errorf("mlab: decoding record %d: %w", len(recs), err)
+		}
+		recs = append(recs, rec)
+	}
+}

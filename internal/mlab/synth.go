@@ -1,0 +1,300 @@
+package mlab
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/tcpinfo"
+)
+
+// Mixture sets the fraction of flows generated with each ground-truth
+// label. Fractions are normalized; zero values are allowed.
+type Mixture struct {
+	AppLimited  float64
+	RWndLimited float64
+	Cellular    float64
+	Steady      float64
+	Contending  float64
+	Policed     float64
+	Short       float64
+}
+
+// DefaultMixture reflects the qualitative composition the paper's
+// §2.2 surveys describe: most flows short or application-limited
+// (Araújo et al.: <40% of traffic is neither application-, host-, nor
+// receiver-limited), a substantial receiver-limited share, cellular
+// clients excluded by the analysis, and minorities of steady,
+// contending, and policed bulk flows.
+func DefaultMixture() Mixture {
+	return Mixture{
+		AppLimited:  0.30,
+		RWndLimited: 0.13,
+		Cellular:    0.15,
+		Steady:      0.17,
+		Contending:  0.07,
+		Policed:     0.04,
+		Short:       0.14,
+	}
+}
+
+func (m Mixture) normalized() Mixture {
+	total := m.AppLimited + m.RWndLimited + m.Cellular + m.Steady + m.Contending + m.Policed + m.Short
+	if total <= 0 {
+		return DefaultMixture()
+	}
+	m.AppLimited /= total
+	m.RWndLimited /= total
+	m.Cellular /= total
+	m.Steady /= total
+	m.Contending /= total
+	m.Policed /= total
+	m.Short /= total
+	return m
+}
+
+// GeneratorConfig parameterizes the synthetic NDT dataset.
+type GeneratorConfig struct {
+	// Flows is the number of records to generate (the paper's June
+	// 2023 query returned 9,984).
+	Flows int
+	// Mix is the label mixture (default DefaultMixture).
+	Mix Mixture
+	// SnapshotInterval spaces the TCP_INFO snapshots (default 100ms).
+	SnapshotInterval time.Duration
+	// TestDuration is the nominal NDT test length (default 10s, the
+	// NDT7 standard).
+	TestDuration time.Duration
+	// BaseTime stamps the records (defaults to 2023-06-01, the paper's
+	// measurement month).
+	BaseTime time.Time
+	// Seed drives all randomness.
+	Seed int64
+}
+
+func (c GeneratorConfig) norm() GeneratorConfig {
+	if c.Flows <= 0 {
+		c.Flows = 9984
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 100 * time.Millisecond
+	}
+	if c.TestDuration <= 0 {
+		c.TestDuration = 10 * time.Second
+	}
+	if c.BaseTime.IsZero() {
+		c.BaseTime = time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	}
+	z := Mixture{}
+	if c.Mix == z {
+		c.Mix = DefaultMixture()
+	} else {
+		c.Mix = c.Mix.normalized()
+	}
+	return c
+}
+
+// Generate produces a synthetic NDT dataset.
+func Generate(cfg GeneratorConfig) []Record {
+	cfg = cfg.norm()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	recs := make([]Record, 0, cfg.Flows)
+	for i := 0; i < cfg.Flows; i++ {
+		label := drawLabel(rng, cfg.Mix)
+		rec := synthesize(rng, cfg, i, label)
+		recs = append(recs, rec)
+	}
+	return recs
+}
+
+func drawLabel(rng *rand.Rand, m Mixture) Label {
+	u := rng.Float64()
+	for _, e := range []struct {
+		p float64
+		l Label
+	}{
+		{m.AppLimited, LabelAppLimited},
+		{m.RWndLimited, LabelRWndLimited},
+		{m.Cellular, LabelCellular},
+		{m.Steady, LabelSteady},
+		{m.Contending, LabelContending},
+		{m.Policed, LabelPoliced},
+		{m.Short, LabelShort},
+	} {
+		if u < e.p {
+			return e.l
+		}
+		u -= e.p
+	}
+	return LabelSteady
+}
+
+// accessRate draws a plausible broadband access rate in bits/s
+// (log-uniform between 10 and 940 Mbit/s for wired/wifi).
+func accessRate(rng *rand.Rand) float64 {
+	lo, hi := math.Log(10e6), math.Log(940e6)
+	return math.Exp(lo + rng.Float64()*(hi-lo))
+}
+
+func synthesize(rng *rand.Rand, cfg GeneratorConfig, idx int, label Label) Record {
+	interval := cfg.SnapshotInterval
+	dur := cfg.TestDuration
+	access := AccessWifi
+	if rng.Float64() < 0.35 {
+		access = AccessEthernet
+	}
+
+	cap := accessRate(rng)
+	noise := func(level float64) float64 { return 1 + level*rng.NormFloat64() }
+
+	var trace []float64
+	var appLimFrac, rwndLimFrac float64
+
+	switch label {
+	case LabelShort:
+		dur = time.Duration((0.2 + 0.8*rng.Float64()) * float64(time.Second))
+		n := int(dur / interval)
+		if n < 2 {
+			n = 2
+		}
+		trace = make([]float64, n)
+		// A burst that fits the initial window: brief spike then done.
+		trace[0] = cap * (0.3 + 0.4*rng.Float64())
+		for i := 1; i < n; i++ {
+			trace[i] = trace[0] * math.Exp(-float64(i)/2) * noise(0.1)
+		}
+		appLimFrac = 0.8
+
+	case LabelAppLimited:
+		// Video-like: on-off chunk fetches bounded well below capacity.
+		bitrate := cap * (0.05 + 0.25*rng.Float64())
+		n := int(dur / interval)
+		trace = make([]float64, n)
+		period := 4 + rng.Intn(16) // chunk period in snapshots
+		duty := 0.3 + 0.4*rng.Float64()
+		for i := range trace {
+			if float64(i%period) < duty*float64(period) {
+				trace[i] = bitrate / duty * noise(0.15)
+			} else {
+				trace[i] = bitrate * 0.05 * noise(0.3)
+			}
+			if trace[i] < 0 {
+				trace[i] = 0
+			}
+		}
+		appLimFrac = 0.5 + 0.45*rng.Float64()
+
+	case LabelRWndLimited:
+		// Clamped by the receiver's window: flat, below capacity.
+		lvl := cap * (0.1 + 0.3*rng.Float64())
+		n := int(dur / interval)
+		trace = make([]float64, n)
+		for i := range trace {
+			trace[i] = lvl * noise(0.03)
+		}
+		rwndLimFrac = 0.6 + 0.35*rng.Float64()
+
+	case LabelCellular:
+		access = AccessCellular
+		// Fading radio: smooth random walk between 20% and 100% of a
+		// cellular-range capacity.
+		cap = math.Exp(math.Log(5e6) + rng.Float64()*(math.Log(300e6)-math.Log(5e6)))
+		n := int(dur / interval)
+		trace = make([]float64, n)
+		level := 0.6
+		for i := range trace {
+			level += 0.08 * rng.NormFloat64()
+			if level < 0.2 {
+				level = 0.2
+			}
+			if level > 1 {
+				level = 1
+			}
+			trace[i] = cap * level * noise(0.1)
+		}
+
+	case LabelSteady:
+		// Bulk flow with a stable allocation near capacity.
+		lvl := cap * (0.85 + 0.1*rng.Float64())
+		n := int(dur / interval)
+		trace = make([]float64, n)
+		for i := range trace {
+			trace[i] = lvl * noise(0.05)
+		}
+
+	case LabelContending:
+		// Bulk flow whose share shifts when competitors arrive/leave:
+		// 1-3 level changes across the test.
+		n := int(dur / interval)
+		trace = make([]float64, n)
+		levels := []float64{0.9, 0.45, 0.3, 0.6, 0.9}
+		shifts := 1 + rng.Intn(3)
+		bps := make([]int, shifts)
+		for i := range bps {
+			bps[i] = n/4 + rng.Intn(n/2)
+		}
+		li := rng.Intn(2)
+		cur := levels[li]
+		k := 0
+		for i := range trace {
+			for k < len(bps) && i == bps[k] {
+				li = (li + 1 + rng.Intn(len(levels)-1)) % len(levels)
+				cur = levels[li]
+				k++
+			}
+			trace[i] = cap * cur * noise(0.06)
+		}
+
+	case LabelPoliced:
+		// Flach et al.'s policing signature: full rate while the token
+		// bucket drains, then a hard clamp with loss.
+		policedRate := cap * (0.1 + 0.2*rng.Float64())
+		n := int(dur / interval)
+		trace = make([]float64, n)
+		burst := n / 6
+		for i := range trace {
+			if i < burst {
+				trace[i] = cap * 0.9 * noise(0.05)
+			} else {
+				trace[i] = policedRate * noise(0.08)
+			}
+		}
+	}
+
+	n := len(trace)
+	snaps := make([]tcpinfo.Snapshot, n)
+	var bytes float64
+	var mean float64
+	for i := range trace {
+		if trace[i] < 0 {
+			trace[i] = 0
+		}
+		bytes += trace[i] / 8 * interval.Seconds()
+		at := time.Duration(i+1) * interval
+		snaps[i] = tcpinfo.Snapshot{
+			At:            at,
+			BytesAcked:    int64(bytes),
+			BytesSent:     int64(bytes * 1.01),
+			ThroughputBps: trace[i],
+			SRTT:          time.Duration((20 + 40*rng.Float64()) * float64(time.Millisecond)),
+			MinRTT:        15 * time.Millisecond,
+			AppLimited:    time.Duration(appLimFrac * float64(at)),
+			RWndLimited:   time.Duration(rwndLimFrac * float64(at)),
+			BusyTime:      time.Duration((1 - appLimFrac - rwndLimFrac) * float64(at)),
+		}
+		mean += trace[i]
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	return Record{
+		ID:                fmt.Sprintf("ndt-%06d", idx),
+		Start:             cfg.BaseTime.Add(time.Duration(idx) * time.Minute),
+		Duration:          time.Duration(n) * interval,
+		Access:            access,
+		Snapshots:         snaps,
+		MeanThroughputBps: mean,
+		TruthLabel:        label,
+	}
+}

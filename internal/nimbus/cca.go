@@ -1,0 +1,238 @@
+package nimbus
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// Mode is the controller's operating mode.
+type Mode int
+
+const (
+	// ModeDelay is Nimbus's delay-based mode: track the residual
+	// bandwidth while holding a small standing queue.
+	ModeDelay Mode = iota
+	// ModeCompetitive is the loss-based (Cubic-like multiplicative
+	// decrease) mode used when elastic cross traffic is present.
+	ModeCompetitive
+)
+
+func (m Mode) String() string {
+	if m == ModeDelay {
+		return "delay"
+	}
+	return "competitive"
+}
+
+// CCA is the Nimbus congestion controller. In the paper's measurement
+// configuration (EnableSwitching == false, the default) it stays in
+// delay mode, maintains the bandwidth oscillations, and simply reports
+// the elasticity of the path's cross traffic — turning the CCA into a
+// contention sensor.
+type CCA struct {
+	Est *Estimator
+
+	// EnableSwitching turns on Nimbus's mode switching (not used by the
+	// measurement tool, provided for completeness and the ablation
+	// benches).
+	EnableSwitching bool
+	// SwitchWindows is how many consecutive agreeing elasticity windows
+	// flip the mode (default 3).
+	SwitchWindows int
+
+	mode        Mode
+	agreeCount  int
+	lastEtaSeen float64
+
+	base    float64 // delay-mode base rate, bits/s
+	srtt    time.Duration
+	minRTT  time.Duration
+	now     time.Duration
+	started bool
+
+	// Competitive-mode window state (AIMD on top of the paced rate).
+	compWnd float64
+
+	// ModeTransitions counts mode flips (diagnostics).
+	ModeTransitions int
+}
+
+// NewCCA returns a Nimbus controller with the given estimator
+// configuration.
+func NewCCA(cfg Config) *CCA {
+	est := NewEstimator(cfg)
+	return &CCA{Est: est, SwitchWindows: 3, compWnd: 10 * sim.MSS}
+}
+
+// Name implements transport.CCA.
+func (n *CCA) Name() string { return "nimbus" }
+
+// Mode returns the current operating mode.
+func (n *CCA) Mode() Mode { return n.mode }
+
+// OnSend implements transport.SendObserver, feeding the estimator's
+// send-rate accounting.
+func (n *CCA) OnSend(now time.Duration, bytes, inflight int) {
+	n.now = now
+	n.Est.RecordSend(now, bytes)
+}
+
+// OnAck implements transport.CCA.
+func (n *CCA) OnAck(a transport.AckInfo) {
+	n.now = a.Now
+	n.srtt = a.SRTT
+	n.minRTT = a.MinRTT
+	n.Est.RecordAck(a.Now, a.AckedBytes, a.RTT, a.SRTT, a.MinRTT)
+	n.ensureStarted(a.Now)
+	n.updateBase(a)
+	if n.EnableSwitching {
+		n.maybeSwitch()
+	}
+	if n.mode == ModeCompetitive {
+		// Cubic-flavoured growth: one MSS per RTT of acked data.
+		n.compWnd += sim.MSS * float64(a.AckedBytes) / n.compWnd
+	}
+}
+
+func (n *CCA) ensureStarted(now time.Duration) {
+	if n.started {
+		return
+	}
+	n.started = true
+	mu := n.Est.Mu(now)
+	if mu > 0 {
+		n.base = n.cfgMinRate(mu)
+	} else {
+		n.base = 8 * 10 * sim.MSS / 0.1 // nominal until mu is learned
+	}
+}
+
+func (n *CCA) cfgMinRate(mu float64) float64 { return n.Est.cfg.MinRateFrac * mu }
+
+// updateBase runs the delay-mode rate controller: additively increase
+// while the queueing delay is below target, multiplicatively back off
+// proportionally to the excess otherwise.
+func (n *CCA) updateBase(a transport.AckInfo) {
+	mu := n.Est.Mu(a.Now)
+	if mu <= 0 {
+		// Still learning the link rate: climb multiplicatively.
+		n.base *= 1.01
+		return
+	}
+	target := n.Est.cfg.EffectiveTargetQDelay(a.MinRTT)
+	qdel := a.RTT - a.MinRTT
+	// Per-ack step scaled so the aggregate adjustment per RTT is a few
+	// percent of mu.
+	step := 0.05 * mu * float64(a.AckedBytes) / (mu / 8 * maxSec(a.SRTT, time.Millisecond))
+	if qdel < target {
+		n.base += step
+	} else {
+		excess := float64(qdel-target) / float64(target)
+		if excess > 1 {
+			excess = 1
+		}
+		n.base -= 2 * step * excess
+	}
+	if min := n.cfgMinRate(mu); n.base < min {
+		n.base = min
+	}
+	if n.base > mu {
+		n.base = mu
+	}
+}
+
+func maxSec(d, min time.Duration) float64 {
+	if d < min {
+		d = min
+	}
+	return d.Seconds()
+}
+
+func (n *CCA) maybeSwitch() {
+	eta, ok := n.Est.Eta()
+	if !ok || eta == n.lastEtaSeen {
+		return
+	}
+	n.lastEtaSeen = eta
+	elastic := eta >= n.Est.cfg.EtaThreshold
+	want := ModeDelay
+	if elastic {
+		want = ModeCompetitive
+	}
+	if want == n.mode {
+		n.agreeCount = 0
+		return
+	}
+	n.agreeCount++
+	if n.agreeCount >= n.SwitchWindows {
+		n.mode = want
+		n.agreeCount = 0
+		n.ModeTransitions++
+		if n.mode == ModeCompetitive {
+			mu := n.Est.Mu(n.now)
+			rtt := maxSec(n.srtt, 10*time.Millisecond)
+			n.compWnd = (mu - n.Est.CrossRate()) / 8 * rtt
+			if n.compWnd < 4*sim.MSS {
+				n.compWnd = 4 * sim.MSS
+			}
+		}
+	}
+}
+
+// OnLoss implements transport.CCA. Delay mode absorbs isolated losses;
+// competitive mode performs a multiplicative decrease.
+func (n *CCA) OnLoss(l transport.LossInfo) {
+	if n.mode == ModeCompetitive {
+		n.compWnd *= 0.7
+		if n.compWnd < 4*sim.MSS {
+			n.compWnd = 4 * sim.MSS
+		}
+	}
+}
+
+// OnTimeout implements transport.CCA.
+func (n *CCA) OnTimeout(now time.Duration) {
+	mu := n.Est.Mu(now)
+	if mu > 0 {
+		n.base = n.cfgMinRate(mu)
+	}
+	n.compWnd = 4 * sim.MSS
+}
+
+// CWnd implements transport.CCA: cap inflight at twice the pipe implied
+// by the pacing rate so pacing, not the window, governs.
+func (n *CCA) CWnd() int {
+	if n.mode == ModeCompetitive {
+		return int(n.compWnd)
+	}
+	rtt := n.srtt
+	if rtt <= 0 {
+		rtt = 100 * time.Millisecond
+	}
+	w := 2 * n.PacingRate() / 8 * rtt.Seconds()
+	if w < 4*sim.MSS {
+		w = 4 * sim.MSS
+	}
+	return int(w)
+}
+
+// PacingRate implements transport.CCA: the delay-mode base rate plus
+// the mean-zero elasticity pulse (always maintained, per §3.2's
+// "maintain the bandwidth oscillations").
+func (n *CCA) PacingRate() float64 {
+	mu := n.Est.Mu(n.now)
+	rate := n.base
+	if n.mode == ModeCompetitive && n.srtt > 0 {
+		rate = n.compWnd * 8 / n.srtt.Seconds()
+	}
+	if mu > 0 {
+		rate += n.Est.Pulse(n.now) * mu
+	}
+	floor := 2.0 * 8 * sim.MSS / 0.1 // never below ~2 packets per 100ms
+	if rate < floor {
+		rate = floor
+	}
+	return rate
+}

@@ -1,0 +1,445 @@
+// Package nimbus implements the elasticity-detection machinery the
+// paper proposes as an active measurement tool (§3.2): a Nimbus-style
+// congestion controller (Goyal et al., SIGCOMM '22) that estimates the
+// cross-traffic rate on its path, superimposes mean-zero sinusoidal
+// rate pulses, and measures how strongly the cross traffic responds at
+// the pulse frequency. Cross traffic that yields bandwidth when the
+// probe pulses up (backlogged CCA-controlled flows) is *elastic*;
+// application-limited traffic (video, short flows, CBR) is *inelastic*.
+//
+// The paper's measurement configuration disables Nimbus's mode
+// switching and keeps the oscillations running, reporting the
+// elasticity metric as an indicator of CCA contention on the path;
+// that is the default configuration here.
+package nimbus
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/stats"
+)
+
+// Config parameterizes the estimator and controller. The zero value is
+// usable: defaults are filled in by Norm.
+type Config struct {
+	// Mu is the bottleneck link rate in bits/s. When zero the
+	// estimator tracks a windowed maximum of the observed receive rate
+	// instead (adequate when the probe periodically saturates the
+	// link, as a speedtest-style measurement does).
+	Mu float64
+	// PulseFreq is the rate-oscillation frequency in Hz (default 5,
+	// the Nimbus paper's choice).
+	PulseFreq float64
+	// PulseAmp is the pulse amplitude as a fraction of Mu (default
+	// 0.25).
+	PulseAmp float64
+	// SampleInterval is the cross-traffic sampling period (default
+	// 10ms; must divide the pulse period several times over).
+	SampleInterval time.Duration
+	// WindowSamples is the FFT window length in samples (default 512,
+	// i.e. ~5.1s at 10ms — matching Nimbus's 5-second windows).
+	WindowSamples int
+	// SlideInterval is how often a new elasticity value is emitted
+	// (default 1s).
+	SlideInterval time.Duration
+	// EtaThreshold classifies a window as elastic when eta exceeds it
+	// (default 0.5).
+	EtaThreshold float64
+	// TargetQDelay is the delay-mode controller's queueing-delay
+	// target. Zero (the default) selects an adaptive target of 0.4x
+	// the observed minimum RTT, clamped to [5ms, 50ms]: the standing
+	// queue must absorb the pulse troughs without the probe itself
+	// pinning the bottleneck buffer (see EffectiveTargetQDelay).
+	TargetQDelay time.Duration
+	// MinRateFrac floors the base sending rate at this fraction of Mu
+	// so the pulses remain observable even when cross traffic is
+	// aggressive (default 0.3; the measurement tool is a speedtest and
+	// is entitled to push).
+	MinRateFrac float64
+	// RinSmoothing and RoutSmoothing are EWMA factors for the send and
+	// delivery rate estimates (default 0.3).
+	RinSmoothing  float64
+	RoutSmoothing float64
+}
+
+// EffectiveTargetQDelay resolves the delay-mode queueing-delay target:
+// the configured value if set, otherwise 0.4 x minRTT clamped to
+// [5ms, 50ms] (15ms before the first RTT sample).
+func (cfg Config) EffectiveTargetQDelay(minRTT time.Duration) time.Duration {
+	if cfg.TargetQDelay > 0 {
+		return cfg.TargetQDelay
+	}
+	if minRTT <= 0 {
+		return 15 * time.Millisecond
+	}
+	t := minRTT * 2 / 5
+	if t < 5*time.Millisecond {
+		t = 5 * time.Millisecond
+	}
+	if t > 50*time.Millisecond {
+		t = 50 * time.Millisecond
+	}
+	return t
+}
+
+// Norm returns cfg with defaults filled in.
+func (cfg Config) Norm() Config {
+	if cfg.PulseFreq <= 0 {
+		cfg.PulseFreq = 5
+	}
+	if cfg.PulseAmp <= 0 {
+		cfg.PulseAmp = 0.25
+	}
+	if cfg.SampleInterval <= 0 {
+		cfg.SampleInterval = 10 * time.Millisecond
+	}
+	if cfg.WindowSamples <= 0 {
+		cfg.WindowSamples = 512
+	}
+	if !dsp.IsPowerOfTwo(cfg.WindowSamples) {
+		cfg.WindowSamples = dsp.NextPowerOfTwo(cfg.WindowSamples)
+	}
+	if cfg.SlideInterval <= 0 {
+		cfg.SlideInterval = time.Second
+	}
+	if cfg.EtaThreshold <= 0 {
+		cfg.EtaThreshold = 0.5
+	}
+	if cfg.MinRateFrac <= 0 {
+		cfg.MinRateFrac = 0.3
+	}
+	if cfg.RinSmoothing <= 0 {
+		cfg.RinSmoothing = 0.3
+	}
+	if cfg.RoutSmoothing <= 0 {
+		cfg.RoutSmoothing = 0.3
+	}
+	return cfg
+}
+
+// Estimator maintains the cross-traffic rate estimate z(t) and the
+// spectral elasticity metric eta. It is driven by RecordSend/RecordAck
+// callbacks from either the emulated transport or the real-socket
+// probe; sampling ticks are derived lazily from those callbacks, so no
+// timer plumbing is required.
+type Estimator struct {
+	cfg Config
+
+	// Interval accumulators.
+	tickStart  time.Duration
+	sentBytes  int64
+	ackedBytes int64
+	started    bool
+
+	rinEWMA  *stats.EWMA
+	routEWMA *stats.EWMA
+	rinHist  []float64 // recent rin samples for RTT alignment
+
+	srtt   time.Duration
+	minRTT time.Duration
+
+	muFilter *stats.MaxFilter
+	zbuf     []float64 // ring of z samples
+	rbuf     []float64 // ring of aligned rin samples (same timebase)
+	qbuf     []float64 // ring of queueing-delay samples (seconds)
+	zlen     int
+	zpos     int
+	total    int // total z samples ever
+
+	lastSlide time.Duration
+
+	zLast     float64
+	etaLast   float64
+	phaseLast float64
+	overLast  float64
+	etaOK     bool
+
+	// Elasticity is the time series of emitted eta values.
+	Elasticity stats.Series
+	// Phase is the time series of response phases (radians): the
+	// angle of the cross-traffic response at the pulse frequency
+	// relative to the probe's (RTT-aligned) pulse. A genuine
+	// control-loop response lags; see ResponseLag.
+	Phase stats.Series
+	// Cross is the time series of cross-traffic rate estimates
+	// (bits/s), sampled each SampleInterval.
+	Cross stats.Series
+	// TraceCross controls whether Cross is retained (it grows one
+	// point per SampleInterval).
+	TraceCross bool
+}
+
+// NewEstimator returns an estimator with the given configuration.
+func NewEstimator(cfg Config) *Estimator {
+	cfg = cfg.Norm()
+	return &Estimator{
+		cfg:      cfg,
+		rinEWMA:  stats.NewEWMA(cfg.RinSmoothing),
+		routEWMA: stats.NewEWMA(cfg.RoutSmoothing),
+		muFilter: stats.NewMaxFilter(30 * time.Second),
+		zbuf:     make([]float64, cfg.WindowSamples),
+		rbuf:     make([]float64, cfg.WindowSamples),
+		qbuf:     make([]float64, cfg.WindowSamples),
+	}
+}
+
+// Config returns the normalized configuration.
+func (e *Estimator) Config() Config { return e.cfg }
+
+// RecordSend accounts bytes handed to the network at time now.
+func (e *Estimator) RecordSend(now time.Duration, bytes int) {
+	e.ensureStarted(now)
+	e.sentBytes += int64(bytes)
+	e.maybeTick(now)
+}
+
+// RecordAck accounts bytes acknowledged at time now with the given RTT
+// sample and smoothed estimates.
+func (e *Estimator) RecordAck(now time.Duration, bytes int, rtt, srtt, minRTT time.Duration) {
+	e.ensureStarted(now)
+	e.ackedBytes += int64(bytes)
+	e.srtt = srtt
+	if minRTT > 0 {
+		e.minRTT = minRTT
+	}
+	e.maybeTick(now)
+}
+
+func (e *Estimator) ensureStarted(now time.Duration) {
+	if !e.started {
+		e.started = true
+		e.tickStart = now
+		e.lastSlide = now
+	}
+}
+
+// maybeTick closes any elapsed sample intervals. Callbacks arrive every
+// few hundred microseconds under load, so quantization error is small.
+func (e *Estimator) maybeTick(now time.Duration) {
+	for now-e.tickStart >= e.cfg.SampleInterval {
+		e.closeInterval(e.tickStart + e.cfg.SampleInterval)
+	}
+}
+
+func (e *Estimator) closeInterval(end time.Duration) {
+	dt := e.cfg.SampleInterval.Seconds()
+	rin := float64(e.sentBytes) * 8 / dt
+	rout := float64(e.ackedBytes) * 8 / dt
+	e.sentBytes = 0
+	e.ackedBytes = 0
+	e.tickStart = end
+
+	rinS := e.rinEWMA.Update(rin)
+	routS := e.routEWMA.Update(rout)
+	e.muFilter.Update(end, routS)
+
+	mu := e.Mu(end)
+	// Align rin with rout: the delivery rate observed now reflects the
+	// send rate one RTT ago.
+	e.rinHist = append(e.rinHist, rinS)
+	if len(e.rinHist) > 1024 {
+		e.rinHist = append(e.rinHist[:0], e.rinHist[512:]...)
+	}
+	lag := 0
+	if e.srtt > 0 {
+		lag = int(e.srtt / e.cfg.SampleInterval)
+	}
+	idx := len(e.rinHist) - 1 - lag
+	if idx < 0 {
+		idx = 0
+	}
+	rinD := e.rinHist[idx]
+
+	var z float64
+	switch {
+	case mu <= 0 || routS <= 0:
+		z = e.zLast
+	default:
+		z = mu*rinD/routS - rinD
+		if z < 0 {
+			z = 0
+		}
+		if z > 2*mu {
+			z = 2 * mu
+		}
+	}
+	e.zLast = z
+	qdel := (e.srtt - e.minRTT).Seconds()
+	if qdel < 0 {
+		qdel = 0
+	}
+	e.push(z, rinD, qdel)
+	if e.TraceCross {
+		e.Cross.Append(end, z)
+	}
+
+	if end-e.lastSlide >= e.cfg.SlideInterval && e.total >= e.cfg.WindowSamples {
+		e.lastSlide = end
+		e.computeEta(end, mu)
+	}
+}
+
+func (e *Estimator) push(z, rin, qdel float64) {
+	e.zbuf[e.zpos] = z
+	e.rbuf[e.zpos] = rin
+	e.qbuf[e.zpos] = qdel
+	e.zpos = (e.zpos + 1) % len(e.zbuf)
+	if e.zlen < len(e.zbuf) {
+		e.zlen++
+	}
+	e.total++
+}
+
+// window returns the given ring's samples oldest-first.
+func (e *Estimator) window(buf []float64) []float64 {
+	n := e.zlen
+	out := make([]float64, n)
+	start := (e.zpos - n + len(buf)) % len(buf)
+	for i := 0; i < n; i++ {
+		out[i] = buf[(start+i)%len(buf)]
+	}
+	return out
+}
+
+// pulseAmpPhase returns the amplitude and phase of the signal at the
+// pulse frequency after detrending and Hann windowing (both the z and
+// rin signals pass the same path, so shared attenuation cancels in the
+// eta ratio and shared delay cancels in the phase difference).
+func (e *Estimator) pulseAmpPhase(x []float64) (float64, float64) {
+	x = dsp.Detrend(x)
+	x = dsp.ApplyWindow(x, dsp.Hann(len(x)))
+	sampleRate := 1 / e.cfg.SampleInterval.Seconds()
+	spec, err := dsp.AmplitudeSpectrum(x, sampleRate)
+	if err != nil {
+		return 0, 0
+	}
+	n := dsp.NextPowerOfTwo(len(x))
+	padded := make([]float64, n)
+	copy(padded, x)
+	X, err := dsp.FFTReal(padded)
+	if err != nil {
+		return spec.AmplitudeAt(e.cfg.PulseFreq, 1), 0
+	}
+	ph := dsp.PhaseAt(X, sampleRate, n, e.cfg.PulseFreq, 1)
+	return spec.AmplitudeAt(e.cfg.PulseFreq, 1), ph
+}
+
+// wrapPi wraps an angle into (-pi, pi].
+func wrapPi(a float64) float64 {
+	for a > math.Pi {
+		a -= 2 * math.Pi
+	}
+	for a <= -math.Pi {
+		a += 2 * math.Pi
+	}
+	return a
+}
+
+func (e *Estimator) computeEta(now time.Duration, mu float64) {
+	if mu <= 0 {
+		return
+	}
+	// Saturation gate: the cross-traffic estimator is only meaningful
+	// while the bottleneck is busy (otherwise z = mu - rin trivially
+	// mirrors our own pulse). If the path shows essentially no
+	// queueing across the window, nothing is contending — report zero
+	// elasticity, which is also the semantically correct verdict for
+	// the measurement study.
+	qs := e.window(e.qbuf)
+	var qmean float64
+	for _, q := range qs {
+		qmean += q
+	}
+	if len(qs) > 0 {
+		qmean /= float64(len(qs))
+	}
+	gate := 0.2 * e.cfg.EffectiveTargetQDelay(e.minRTT).Seconds()
+	if gate < 1e-3 {
+		gate = 1e-3
+	}
+	if qmean < gate {
+		e.etaLast = 0
+		e.etaOK = true
+		e.Elasticity.Append(now, 0)
+		return
+	}
+	zs := e.window(e.zbuf)
+	var zmean float64
+	for _, z := range zs {
+		zmean += z
+	}
+	if len(zs) > 0 {
+		zmean /= float64(len(zs))
+	}
+	e.overLast = zmean / mu
+
+	ampZ, phZ := e.pulseAmpPhase(zs)
+	ampR, phR := e.pulseAmpPhase(e.window(e.rbuf))
+	// Normalize the cross-traffic response by the pulse actually sent
+	// (self-calibrating: pacing caps, window limits, and spectral
+	// attenuation affect both identically). Floor the denominator at a
+	// quarter of the configured pulse so a throttled probe cannot
+	// inflate eta.
+	floor := 0.25 * e.cfg.PulseAmp * mu / 2 // /2: Hann coherent gain
+	if ampR < floor {
+		ampR = floor
+	}
+	eta := ampZ / ampR
+	// Response phase relative to the (RTT-aligned) pulse. A yielding
+	// response is anti-phase (pi); deviations from pi encode the
+	// cross traffic's control-loop lag. An instantaneous droptail
+	// slot-race artifact shows ~zero lag.
+	e.phaseLast = wrapPi(phZ - phR - math.Pi)
+	e.Phase.Append(now, e.phaseLast)
+	e.etaLast = eta
+	e.etaOK = true
+	e.Elasticity.Append(now, eta)
+}
+
+// OverloadFactor returns the window-mean cross-traffic estimate as a
+// fraction of mu (diagnostic: values near or above 1 indicate cross
+// traffic that is not yielding at all).
+func (e *Estimator) OverloadFactor() float64 { return e.overLast }
+
+// ResponseLag converts the latest response phase into a control-loop
+// lag estimate in seconds (phase / (2*pi*f), wrapped positive).
+func (e *Estimator) ResponseLag() float64 {
+	ph := e.phaseLast
+	if ph < 0 {
+		ph += 2 * math.Pi
+	}
+	return ph / (2 * math.Pi * e.cfg.PulseFreq)
+}
+
+// Mu returns the bottleneck rate estimate in bits/s at time now.
+func (e *Estimator) Mu(now time.Duration) float64 {
+	if e.cfg.Mu > 0 {
+		return e.cfg.Mu
+	}
+	return e.muFilter.Value(now)
+}
+
+// CrossRate returns the latest cross-traffic rate estimate in bits/s.
+func (e *Estimator) CrossRate() float64 { return e.zLast }
+
+// Eta returns the most recent elasticity value; ok is false until a
+// full window has been observed.
+func (e *Estimator) Eta() (eta float64, ok bool) { return e.etaLast, e.etaOK }
+
+// Elastic reports whether the most recent window was classified
+// elastic.
+func (e *Estimator) Elastic() bool { return e.etaOK && e.etaLast >= e.cfg.EtaThreshold }
+
+// Pulse evaluates the mean-zero rate pulse at time t as a fraction of
+// Mu: PulseAmp * sin(2*pi*f*t).
+func (e *Estimator) Pulse(t time.Duration) float64 {
+	return e.cfg.PulseAmp * math.Sin(2*math.Pi*e.cfg.PulseFreq*t.Seconds())
+}
+
+// SRTT returns the latest smoothed RTT the estimator has seen.
+func (e *Estimator) SRTT() time.Duration { return e.srtt }
+
+// MinRTT returns the latest minimum RTT the estimator has seen.
+func (e *Estimator) MinRTT() time.Duration { return e.minRTT }

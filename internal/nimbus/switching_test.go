@@ -1,0 +1,110 @@
+package nimbus_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/nimbus"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+func dumbbell(rate float64, owd time.Duration) (*sim.Engine, *sim.Link) {
+	eng := &sim.Engine{}
+	return eng, sim.NewLink(eng, "l", rate, owd, qdisc.NewDropTailBDP(rate, 2*owd, 1))
+}
+
+// TestModeSwitchingEngagesAgainstElasticCross exercises the full
+// Nimbus design (not the paper's measurement configuration): with
+// switching enabled, the controller flips to competitive mode against
+// a backlogged loss-based flow and claims a much larger share than the
+// delay-mode floor.
+func TestModeSwitchingEngagesAgainstElasticCross(t *testing.T) {
+	const rate = 48e6
+	owd := 50 * time.Millisecond
+	eng, link := dumbbell(rate, owd)
+
+	n := nimbus.NewCCA(nimbus.Config{Mu: rate, PulseFreq: 2})
+	n.EnableSwitching = true
+	probe := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: owd,
+		CC: n, Backlogged: true,
+	})
+	probe.Start()
+
+	cross := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 2, Path: []*sim.Link{link}, ReturnDelay: owd,
+		CC: cca.NewRenoCC(), Backlogged: true,
+	})
+	cross.Start()
+
+	eng.Run(60 * time.Second)
+
+	if n.Mode() != nimbus.ModeCompetitive {
+		t.Errorf("mode = %v, want competitive against backlogged Reno", n.Mode())
+	}
+	if n.ModeTransitions == 0 {
+		t.Error("no mode transitions recorded")
+	}
+	share := probe.Throughput(30*time.Second, 60*time.Second) / rate
+	if share < 0.3 {
+		t.Errorf("competitive-mode share = %.2f, want a fair-ish share", share)
+	}
+}
+
+// TestModeSwitchingStaysDelayWhenAlone verifies the opposite case: no
+// cross traffic, the controller remains in delay mode and keeps the
+// queue short.
+func TestModeSwitchingStaysDelayWhenAlone(t *testing.T) {
+	const rate = 48e6
+	owd := 50 * time.Millisecond
+	eng, link := dumbbell(rate, owd)
+
+	n := nimbus.NewCCA(nimbus.Config{Mu: rate, PulseFreq: 2})
+	n.EnableSwitching = true
+	probe := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: owd,
+		CC: n, Backlogged: true,
+	})
+	probe.Start()
+	eng.Run(40 * time.Second)
+
+	if n.Mode() != nimbus.ModeDelay {
+		t.Errorf("mode = %v, want delay on an empty path", n.Mode())
+	}
+	if tput := probe.Throughput(10*time.Second, 40*time.Second); tput < 0.8*rate {
+		t.Errorf("solo delay-mode throughput = %.1f Mbit/s", tput/1e6)
+	}
+}
+
+// TestMeasurementConfigNeverSwitches pins the paper's configuration:
+// with switching disabled the controller stays in delay mode no matter
+// how elastic the cross traffic is, maintaining the oscillations.
+func TestMeasurementConfigNeverSwitches(t *testing.T) {
+	const rate = 48e6
+	owd := 50 * time.Millisecond
+	eng, link := dumbbell(rate, owd)
+
+	n := nimbus.NewCCA(nimbus.Config{Mu: rate, PulseFreq: 2})
+	probe := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: owd,
+		CC: n, Backlogged: true,
+	})
+	probe.Start()
+	cross := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 2, Path: []*sim.Link{link}, ReturnDelay: owd,
+		CC: cca.NewCubicCC(), Backlogged: true,
+	})
+	cross.Start()
+	eng.Run(40 * time.Second)
+
+	if n.Mode() != nimbus.ModeDelay || n.ModeTransitions != 0 {
+		t.Errorf("measurement config switched modes: %v (%d transitions)",
+			n.Mode(), n.ModeTransitions)
+	}
+	if eta, ok := n.Est.Eta(); !ok || eta < 0.4 {
+		t.Errorf("eta = %.3f (ok=%v), want elastic signal maintained", eta, ok)
+	}
+}

@@ -1,0 +1,302 @@
+package probe
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/nimbus"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// ClientConfig parameterizes an elasticity measurement run.
+type ClientConfig struct {
+	// Server is the probe server address, e.g. "192.0.2.1:4460".
+	Server string
+	// Duration is the measurement length (default 30s).
+	Duration time.Duration
+	// PacketSize is the data packet wire size (default 1200 bytes).
+	PacketSize int
+	// Nimbus configures the controller/estimator. Mu == 0 enables
+	// auto link-rate tracking; the paper's speedtest framing implies
+	// the provisioned rate is often known.
+	Nimbus nimbus.Config
+	// MaxRateBps caps the probe's sending rate regardless of the
+	// controller (safety valve; default 100 Mbit/s).
+	MaxRateBps float64
+	// Seed randomizes the session id.
+	Seed int64
+}
+
+func (c ClientConfig) norm() ClientConfig {
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.PacketSize < HeaderSize {
+		c.PacketSize = 1200
+	}
+	if c.MaxRateBps <= 0 {
+		c.MaxRateBps = 100e6
+	}
+	return c
+}
+
+// Report is the outcome of a measurement run.
+type Report struct {
+	Session uint64
+	// Sent/Acked count data packets.
+	Sent, Acked int64
+	// LossRate is 1 - acked/sent.
+	LossRate float64
+	// MinRTT and MeanRTT summarize RTT samples.
+	MinRTT, MeanRTT time.Duration
+	// Eta is the elasticity time series.
+	Eta []stats.Sample
+	// MeanEta averages the (settled) elasticity windows.
+	MeanEta float64
+	// Elastic is the majority verdict: did cross traffic contend?
+	Elastic bool
+	// CrossRateBps is the final cross-traffic estimate.
+	CrossRateBps float64
+	// ThroughputBps is the probe's achieved rate.
+	ThroughputBps float64
+}
+
+// Client runs the active measurement against a probe server.
+type Client struct {
+	cfg ClientConfig
+
+	mu     sync.Mutex
+	cc     *nimbus.CCA
+	srtt   time.Duration
+	rttvar time.Duration
+	minRTT time.Duration
+	hasRTT bool
+
+	sent      int64
+	acked     int64
+	ackedB    int64
+	rttSum    time.Duration
+	sessionID uint64
+	start     time.Time
+}
+
+// NewClient prepares a measurement run.
+func NewClient(cfg ClientConfig) *Client {
+	cfg = cfg.norm()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	return &Client{
+		cfg:       cfg,
+		cc:        nimbus.NewCCA(cfg.Nimbus),
+		sessionID: rng.Uint64(),
+	}
+}
+
+// Run performs the measurement and returns the report. It blocks for
+// the configured duration.
+func (c *Client) Run() (*Report, error) {
+	raddr, err := net.ResolveUDPAddr("udp", c.cfg.Server)
+	if err != nil {
+		return nil, fmt.Errorf("probe: resolving server: %w", err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return nil, fmt.Errorf("probe: dialing server: %w", err)
+	}
+	defer conn.Close()
+
+	c.start = time.Now()
+	deadline := c.start.Add(c.cfg.Duration)
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Receiver: feed acknowledgments to the controller.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.receiveLoop(conn, deadline)
+	}()
+
+	// Sender: pace packets at the controller's rate.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c.sendLoop(conn, deadline)
+		close(done)
+	}()
+	<-done
+	// Give in-flight acks a moment to land.
+	time.Sleep(50 * time.Millisecond)
+	conn.SetReadDeadline(time.Now())
+	wg.Wait()
+
+	// Bye (best effort).
+	bye := Header{Type: TypeBye, Session: c.sessionID, SendNano: c.nowNano()}
+	buf := make([]byte, HeaderSize)
+	if n, err := bye.Encode(buf); err == nil {
+		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+		_, _ = conn.Write(buf[:n])
+	}
+	return c.report(), nil
+}
+
+func (c *Client) nowNano() int64 { return time.Since(c.start).Nanoseconds() }
+
+func (c *Client) sendLoop(conn *net.UDPConn, deadline time.Time) {
+	buf := make([]byte, c.cfg.PacketSize)
+	var seq uint64
+	next := time.Now()
+	for time.Now().Before(deadline) {
+		now := time.Now()
+		if now.Before(next) {
+			time.Sleep(next.Sub(now))
+			continue
+		}
+		h := Header{
+			Type:     TypeData,
+			Session:  c.sessionID,
+			Seq:      seq,
+			SendNano: c.nowNano(),
+			Size:     uint16(c.cfg.PacketSize),
+		}
+		if _, err := h.Encode(buf); err != nil {
+			return
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return
+		}
+		seq++
+
+		c.mu.Lock()
+		c.sent++
+		elapsed := time.Duration(c.nowNano())
+		c.cc.OnSend(elapsed, c.cfg.PacketSize, int(c.sent-c.acked)*c.cfg.PacketSize)
+		rate := c.cc.PacingRate()
+		c.mu.Unlock()
+
+		if rate > c.cfg.MaxRateBps {
+			rate = c.cfg.MaxRateBps
+		}
+		if rate < 8*float64(c.cfg.PacketSize) {
+			rate = 8 * float64(c.cfg.PacketSize) // >= 1 packet/s
+		}
+		gap := time.Duration(float64(c.cfg.PacketSize*8) / rate * float64(time.Second))
+		next = next.Add(gap)
+		if behind := time.Now(); next.Before(behind.Add(-100 * time.Millisecond)) {
+			next = behind // don't accumulate unbounded debt
+		}
+	}
+}
+
+func (c *Client) receiveLoop(conn *net.UDPConn, deadline time.Time) {
+	buf := make([]byte, 64*1024)
+	for {
+		conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+		n, err := conn.Read(buf)
+		if err != nil {
+			if time.Now().After(deadline) {
+				return
+			}
+			continue
+		}
+		h, err := Decode(buf[:n])
+		if err != nil || h.Type != TypeAck || h.Session != c.sessionID {
+			continue
+		}
+		nowN := c.nowNano()
+		rtt := time.Duration(nowN - h.EchoNano)
+		if rtt <= 0 {
+			continue
+		}
+		c.mu.Lock()
+		c.acked++
+		c.ackedB += int64(h.Size)
+		c.rttSum += rtt
+		c.updateRTT(rtt)
+		elapsed := time.Duration(nowN)
+		inflight := int(c.sent-c.acked) * c.cfg.PacketSize
+		if inflight < 0 {
+			inflight = 0
+		}
+		var rate float64
+		if elapsed > 0 {
+			rate = float64(c.ackedB) * 8 / elapsed.Seconds()
+		}
+		c.cc.OnAck(transport.AckInfo{
+			Now:          elapsed,
+			AckedBytes:   int(h.Size),
+			RTT:          rtt,
+			SRTT:         c.srtt,
+			MinRTT:       c.minRTT,
+			Inflight:     inflight,
+			DeliveryRate: rate,
+			CumDelivered: c.ackedB,
+		})
+		c.mu.Unlock()
+	}
+}
+
+func (c *Client) updateRTT(rtt time.Duration) {
+	if !c.hasRTT {
+		c.srtt, c.rttvar, c.minRTT = rtt, rtt/2, rtt
+		c.hasRTT = true
+		return
+	}
+	if rtt < c.minRTT {
+		c.minRTT = rtt
+	}
+	d := c.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	c.rttvar = (3*c.rttvar + d) / 4
+	c.srtt = (7*c.srtt + rtt) / 8
+}
+
+func (c *Client) report() *Report {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r := &Report{
+		Session: c.sessionID,
+		Sent:    c.sent,
+		Acked:   c.acked,
+		MinRTT:  c.minRTT,
+		Eta:     c.cc.Est.Elasticity.Samples(),
+	}
+	if c.sent > 0 {
+		r.LossRate = 1 - float64(c.acked)/float64(c.sent)
+		if r.LossRate < 0 {
+			r.LossRate = 0
+		}
+	}
+	if c.acked > 0 {
+		r.MeanRTT = c.rttSum / time.Duration(c.acked)
+	}
+	el := time.Since(c.start).Seconds()
+	if el > 0 {
+		r.ThroughputBps = float64(c.ackedB) * 8 / el
+	}
+	r.CrossRateBps = c.cc.Est.CrossRate()
+	// Majority verdict over settled windows (skip the first quarter).
+	settle := c.cfg.Duration / 4
+	var sum float64
+	elastic, count := 0, 0
+	for _, s := range r.Eta {
+		if s.At < settle {
+			continue
+		}
+		sum += s.Value
+		count++
+		if s.Value >= c.cc.Est.Config().EtaThreshold {
+			elastic++
+		}
+	}
+	if count > 0 {
+		r.MeanEta = sum / float64(count)
+		r.Elastic = elastic*2 > count
+	}
+	return r
+}

@@ -1,0 +1,157 @@
+package probe
+
+import (
+	"errors"
+	"log"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ServerConfig parameterizes the probe server.
+type ServerConfig struct {
+	// Addr is the UDP listen address, e.g. ":4460".
+	Addr string
+	// Logf, if non-nil, receives diagnostic lines.
+	Logf func(format string, args ...interface{})
+}
+
+// ServerStats are lifetime counters, safe for concurrent reads.
+type ServerStats struct {
+	DataPackets atomic.Int64
+	DataBytes   atomic.Int64
+	Acks        atomic.Int64
+	Sessions    atomic.Int64
+	BadPackets  atomic.Int64
+}
+
+// Server acknowledges probe packets: for each data packet it returns
+// an ack echoing the sequence number and send timestamp, stamped with
+// the server's receive time — everything the client's estimator needs.
+type Server struct {
+	cfg   ServerConfig
+	conn  *net.UDPConn
+	start time.Time
+
+	mu       sync.Mutex
+	sessions map[uint64]struct{}
+
+	// Stats exposes lifetime counters.
+	Stats ServerStats
+
+	closed atomic.Bool
+	done   chan struct{}
+}
+
+// NewServer binds the listen socket. Call Serve to start processing.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Addr == "" {
+		cfg.Addr = ":4460"
+	}
+	laddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", laddr)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		conn:     conn,
+		start:    time.Now(),
+		sessions: make(map[uint64]struct{}),
+		done:     make(chan struct{}),
+	}, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *Server) Addr() net.Addr { return s.conn.LocalAddr() }
+
+func (s *Server) logf(format string, args ...interface{}) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve processes packets until Close. It returns nil after a clean
+// shutdown.
+func (s *Server) Serve() error {
+	defer close(s.done)
+	buf := make([]byte, 64*1024)
+	out := make([]byte, HeaderSize)
+	for {
+		n, raddr, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() {
+				continue
+			}
+			return err
+		}
+		h, err := Decode(buf[:n])
+		if err != nil {
+			s.Stats.BadPackets.Add(1)
+			continue
+		}
+		now := time.Since(s.start).Nanoseconds()
+		switch h.Type {
+		case TypeHello:
+			s.trackSession(h.Session)
+			reply := Header{Type: TypeHi, Session: h.Session, Seq: h.Seq, EchoNano: h.SendNano, RecvNano: now}
+			s.reply(out, &reply, raddr)
+		case TypeData:
+			s.Stats.DataPackets.Add(1)
+			s.Stats.DataBytes.Add(int64(n))
+			ack := Header{
+				Type:     TypeAck,
+				Session:  h.Session,
+				Seq:      h.Seq,
+				EchoNano: h.SendNano,
+				RecvNano: now,
+				Size:     uint16(n),
+			}
+			s.reply(out, &ack, raddr)
+			s.Stats.Acks.Add(1)
+		case TypeBye:
+			s.logf("probe: session %d from %v done", h.Session, raddr)
+		default:
+			s.Stats.BadPackets.Add(1)
+		}
+	}
+}
+
+func (s *Server) trackSession(id uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; !ok {
+		s.sessions[id] = struct{}{}
+		s.Stats.Sessions.Add(1)
+		s.logf("probe: new session %d", id)
+	}
+}
+
+func (s *Server) reply(out []byte, h *Header, raddr *net.UDPAddr) {
+	n, err := h.Encode(out)
+	if err != nil {
+		log.Printf("probe: encode reply: %v", err)
+		return
+	}
+	if _, err := s.conn.WriteToUDP(out[:n], raddr); err != nil && !s.closed.Load() {
+		s.logf("probe: write to %v: %v", raddr, err)
+	}
+}
+
+// Close shuts the server down and waits for Serve to return.
+func (s *Server) Close() error {
+	if s.closed.Swap(true) {
+		return nil
+	}
+	err := s.conn.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,32 @@
+package qdisc
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func benchQdisc(b *testing.B, q sim.Qdisc) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p := pkt(i%16, i%4, sim.MSS)
+		if q.Enqueue(p, 0) {
+			q.Dequeue(0)
+		}
+	}
+}
+
+func BenchmarkDropTail(b *testing.B) { benchQdisc(b, NewDropTail(1<<20)) }
+
+func BenchmarkDRR16Flows(b *testing.B) { benchQdisc(b, NewDRR(ByFlow, sim.MSS, 1<<20)) }
+
+func BenchmarkSFQ(b *testing.B) { benchQdisc(b, NewSFQ(128, 1<<20, 1)) }
+
+func BenchmarkTokenBucketShaper(b *testing.B) {
+	benchQdisc(b, NewTokenBucketShaper(1e12, 1<<20, 1<<20))
+}
+
+func BenchmarkCoDel(b *testing.B) { benchQdisc(b, NewCoDel(1<<20)) }
+
+func BenchmarkUserIsolation(b *testing.B) { benchQdisc(b, NewUserIsolation(0, 0, 1<<20)) }

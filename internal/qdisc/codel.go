@@ -1,0 +1,216 @@
+package qdisc
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// CoDel implements the Controlled Delay AQM (Nichols & Jacobson) — the
+// modern answer to bufferbloat on access links, and (as fq_codel) the
+// queue discipline most commonly providing the flow isolation §2.3
+// observes is "cheap and easy to implement". Packets are dropped at
+// dequeue when the sojourn time has exceeded Target for at least
+// Interval, with the drop rate increasing by the inverse-sqrt control
+// law.
+type CoDel struct {
+	// Target is the acceptable standing queue delay (default 5ms).
+	Target time.Duration
+	// Interval is the sliding measurement window (default 100ms).
+	Interval time.Duration
+
+	fifo *DropTail
+	enq  map[*sim.Packet]time.Duration // enqueue timestamps
+	// CoDel state.
+	dropping   bool
+	firstAbove time.Duration
+	dropNext   time.Duration
+	count      int
+	lastCount  int
+
+	// Dropped counts packets dropped by the AQM (not tail drops).
+	Dropped int64
+}
+
+// NewCoDel returns a CoDel queue with the given byte limit and default
+// target/interval.
+func NewCoDel(limitBytes int) *CoDel {
+	return &CoDel{
+		Target:   5 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		fifo:     NewDropTail(limitBytes),
+		enq:      make(map[*sim.Packet]time.Duration),
+	}
+}
+
+// Enqueue implements sim.Qdisc.
+func (c *CoDel) Enqueue(p *sim.Packet, now time.Duration) bool {
+	if !c.fifo.Enqueue(p, now) {
+		return false
+	}
+	c.enq[p] = now
+	return true
+}
+
+// sojourn pops the head packet and returns it with its queue delay.
+func (c *CoDel) pop(now time.Duration) (*sim.Packet, time.Duration, bool) {
+	p, _ := c.fifo.Dequeue(now)
+	if p == nil {
+		return nil, 0, false
+	}
+	at := c.enq[p]
+	delete(c.enq, p)
+	return p, now - at, true
+}
+
+// okToDrop updates the first-above-target tracking for one head
+// packet.
+func (c *CoDel) okToDrop(sojourn, now time.Duration) bool {
+	if sojourn < c.Target || c.fifo.Bytes() < 2*sim.MSS {
+		c.firstAbove = 0
+		return false
+	}
+	if c.firstAbove == 0 {
+		c.firstAbove = now + c.Interval
+		return false
+	}
+	return now >= c.firstAbove
+}
+
+// Dequeue implements sim.Qdisc with the CoDel drop law.
+func (c *CoDel) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	p, sojourn, ok := c.pop(now)
+	if !ok {
+		c.dropping = false
+		return nil, 0
+	}
+	drop := c.okToDrop(sojourn, now)
+	if c.dropping {
+		switch {
+		case !drop:
+			c.dropping = false
+		case now >= c.dropNext:
+			for now >= c.dropNext && c.dropping {
+				c.Dropped++
+				c.count++
+				p, sojourn, ok = c.pop(now)
+				if !ok {
+					c.dropping = false
+					return nil, 0
+				}
+				if !c.okToDrop(sojourn, now) {
+					c.dropping = false
+					break
+				}
+				c.dropNext = c.controlLaw(c.dropNext)
+			}
+		}
+	} else if drop {
+		// Enter dropping state: drop this packet.
+		c.Dropped++
+		c.dropping = true
+		// Resume closer to the previous rate if we were recently
+		// dropping (the "count" memory).
+		if c.count > 2 && c.count-c.lastCount > 1 {
+			c.count = c.count - c.lastCount
+		} else {
+			c.count = 1
+		}
+		c.lastCount = c.count
+		c.dropNext = c.controlLaw(now)
+		p, _, ok = c.pop(now)
+		if !ok {
+			c.dropping = false
+			return nil, 0
+		}
+	}
+	return p, 0
+}
+
+func (c *CoDel) controlLaw(t time.Duration) time.Duration {
+	return t + time.Duration(float64(c.Interval)/math.Sqrt(float64(c.count)))
+}
+
+// Len implements sim.Qdisc.
+func (c *CoDel) Len() int { return c.fifo.Len() }
+
+// Bytes implements sim.Qdisc.
+func (c *CoDel) Bytes() int { return c.fifo.Bytes() }
+
+// RED implements Random Early Detection (Floyd & Jacobson): packets
+// are dropped probabilistically as the EWMA queue length moves between
+// a minimum and maximum threshold, signalling congestion before the
+// buffer fills.
+type RED struct {
+	// MinBytes and MaxBytes are the EWMA thresholds; MaxP is the drop
+	// probability at MaxBytes.
+	MinBytes, MaxBytes int
+	MaxP               float64
+	// Weight is the queue-average EWMA weight (default 0.002).
+	Weight float64
+
+	fifo *DropTail
+	avg  float64
+	seed uint64
+
+	// Dropped counts early (probabilistic) drops.
+	Dropped int64
+}
+
+// NewRED returns a RED queue: thresholds default to 1/4 and 3/4 of the
+// byte limit with maxP 0.1.
+func NewRED(limitBytes int) *RED {
+	if limitBytes <= 0 {
+		limitBytes = 1 << 20
+	}
+	return &RED{
+		MinBytes: limitBytes / 4,
+		MaxBytes: limitBytes * 3 / 4,
+		MaxP:     0.1,
+		Weight:   0.002,
+		fifo:     NewDropTail(limitBytes),
+		seed:     0x9e3779b97f4a7c15,
+	}
+}
+
+// rnd is a tiny deterministic PRNG (splitmix64) so RED stays
+// reproducible without plumbing a *rand.Rand through the qdisc API.
+func (r *RED) rnd() float64 {
+	r.seed += 0x9e3779b97f4a7c15
+	z := r.seed
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Enqueue implements sim.Qdisc with early drop.
+func (r *RED) Enqueue(p *sim.Packet, now time.Duration) bool {
+	r.avg = r.avg*(1-r.Weight) + float64(r.fifo.Bytes())*r.Weight
+	switch {
+	case r.avg < float64(r.MinBytes):
+		// Below min: always accept (subject to the hard limit).
+	case r.avg >= float64(r.MaxBytes):
+		r.Dropped++
+		return false
+	default:
+		pDrop := r.MaxP * (r.avg - float64(r.MinBytes)) / float64(r.MaxBytes-r.MinBytes)
+		if r.rnd() < pDrop {
+			r.Dropped++
+			return false
+		}
+	}
+	return r.fifo.Enqueue(p, now)
+}
+
+// Dequeue implements sim.Qdisc.
+func (r *RED) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	return r.fifo.Dequeue(now)
+}
+
+// Len implements sim.Qdisc.
+func (r *RED) Len() int { return r.fifo.Len() }
+
+// Bytes implements sim.Qdisc.
+func (r *RED) Bytes() int { return r.fifo.Bytes() }

@@ -1,0 +1,80 @@
+// Package qdisc implements the queue disciplines the paper names as
+// in-network bandwidth management mechanisms: droptail FIFO, token-
+// bucket shaping and policing (Flach et al.'s distinction: policers
+// drop excess, shapers queue it), deficit-round-robin fair queueing
+// (Demers et al. / Shreedhar-Varghese), stochastic fair queueing,
+// strict priority, and a two-level per-user isolation discipline in the
+// spirit of HTB: users receive fair (or weighted) shares, flows within
+// a user share a FIFO.
+//
+// All disciplines implement sim.Qdisc and are deterministic.
+package qdisc
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// DropTail is a FIFO queue with a byte capacity limit; packets that
+// would overflow are dropped at the tail.
+type DropTail struct {
+	limit int // bytes
+	q     []*sim.Packet
+	bytes int
+	// Dropped counts packets refused at enqueue.
+	Dropped int64
+}
+
+// NewDropTail returns a droptail FIFO holding at most limitBytes bytes.
+// A non-positive limit means a very large (effectively unbounded)
+// queue.
+func NewDropTail(limitBytes int) *DropTail {
+	if limitBytes <= 0 {
+		limitBytes = 1 << 40
+	}
+	return &DropTail{limit: limitBytes}
+}
+
+// NewDropTailBDP returns a droptail FIFO sized to mult
+// bandwidth-delay products of a link with the given rate (bits/s) and
+// RTT, the conventional buffer sizing rule.
+func NewDropTailBDP(rate float64, rtt time.Duration, mult float64) *DropTail {
+	bdp := rate / 8 * rtt.Seconds() * mult
+	if bdp < 2*sim.MSS {
+		bdp = 2 * sim.MSS
+	}
+	return NewDropTail(int(bdp))
+}
+
+// Enqueue implements sim.Qdisc.
+func (d *DropTail) Enqueue(p *sim.Packet, _ time.Duration) bool {
+	if d.bytes+p.Size > d.limit {
+		d.Dropped++
+		return false
+	}
+	d.q = append(d.q, p)
+	d.bytes += p.Size
+	return true
+}
+
+// Dequeue implements sim.Qdisc.
+func (d *DropTail) Dequeue(_ time.Duration) (*sim.Packet, time.Duration) {
+	if len(d.q) == 0 {
+		return nil, 0
+	}
+	p := d.q[0]
+	d.q[0] = nil
+	d.q = d.q[1:]
+	d.bytes -= p.Size
+	return p, 0
+}
+
+// Len implements sim.Qdisc.
+func (d *DropTail) Len() int { return len(d.q) }
+
+// Bytes implements sim.Qdisc.
+func (d *DropTail) Bytes() int { return d.bytes }
+
+// Limit returns the configured byte limit.
+func (d *DropTail) Limit() int { return d.limit }

@@ -1,0 +1,143 @@
+package qdisc
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+type userClass struct {
+	id   int
+	b    bucket
+	fifo *DropTail
+	caps bool // whether a rate cap applies
+}
+
+// UserIsolation is a two-level discipline modelling the access-network
+// arrangement Figure 1 of the paper describes: each subscriber (UserID)
+// is throttled to a purchased rate by a token bucket ("operator
+// throttling") and backlogged subscribers share the link round-robin
+// ("isolation"). Flows within a subscriber share a FIFO, so intra-user
+// CCA contention remains possible while inter-user contention is
+// removed — exactly the asymmetry §2.2 discusses.
+type UserIsolation struct {
+	users      map[int]*userClass
+	order      []int // deterministic iteration order
+	rr         int
+	defRate    float64 // bits/s; 0 = uncapped
+	defBurst   int
+	perUserCap int // bytes of backlog per user
+	// Dropped counts refused packets.
+	Dropped int64
+}
+
+// NewUserIsolation returns the discipline. defaultRateBits caps each
+// user's throughput (0 disables capping); perUserBacklogBytes bounds
+// each user's queue.
+func NewUserIsolation(defaultRateBits float64, burstBytes, perUserBacklogBytes int) *UserIsolation {
+	if perUserBacklogBytes <= 0 {
+		perUserBacklogBytes = 256 * sim.MSS
+	}
+	return &UserIsolation{
+		users:      make(map[int]*userClass),
+		defRate:    defaultRateBits,
+		defBurst:   burstBytes,
+		perUserCap: perUserBacklogBytes,
+	}
+}
+
+// SetUserRate overrides the rate cap for one user (0 = uncapped),
+// modelling tiered service plans (Paul et al.: 3–11 plans per ISP).
+func (u *UserIsolation) SetUserRate(userID int, rateBits float64, burstBytes int) {
+	c := u.user(userID)
+	if rateBits > 0 {
+		c.b = newBucket(rateBits, burstBytes)
+		c.caps = true
+	} else {
+		c.caps = false
+	}
+}
+
+func (u *UserIsolation) user(id int) *userClass {
+	c := u.users[id]
+	if c == nil {
+		c = &userClass{id: id, fifo: NewDropTail(u.perUserCap)}
+		if u.defRate > 0 {
+			c.b = newBucket(u.defRate, u.defBurst)
+			c.caps = true
+		}
+		u.users[id] = c
+		u.order = append(u.order, id)
+		sort.Ints(u.order)
+	}
+	return c
+}
+
+// Enqueue implements sim.Qdisc.
+func (u *UserIsolation) Enqueue(p *sim.Packet, now time.Duration) bool {
+	c := u.user(p.UserID)
+	if !c.fifo.Enqueue(p, now) {
+		u.Dropped++
+		return false
+	}
+	return true
+}
+
+// Dequeue implements sim.Qdisc: round-robin over users whose head
+// packet conforms to their token bucket. If every backlogged user is
+// waiting for tokens, it reports the earliest ready time.
+func (u *UserIsolation) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	n := len(u.order)
+	if n == 0 {
+		return nil, 0
+	}
+	var earliest time.Duration
+	backlogged := false
+	for i := 0; i < n; i++ {
+		idx := (u.rr + i) % n
+		c := u.users[u.order[idx]]
+		if c.fifo.Len() == 0 {
+			continue
+		}
+		backlogged = true
+		head := c.fifo.q[0]
+		if c.caps {
+			c.b.refill(now)
+			need := float64(head.Size)
+			if c.b.tokens < need {
+				t := c.b.timeFor(now, need)
+				if earliest == 0 || t < earliest {
+					earliest = t
+				}
+				continue
+			}
+			c.b.tokens -= need
+		}
+		p, _ := c.fifo.Dequeue(now)
+		u.rr = (idx + 1) % n
+		return p, 0
+	}
+	if !backlogged {
+		return nil, 0
+	}
+	return nil, earliest
+}
+
+// Len implements sim.Qdisc.
+func (u *UserIsolation) Len() int {
+	n := 0
+	for _, c := range u.users {
+		n += c.fifo.Len()
+	}
+	return n
+}
+
+// Bytes implements sim.Qdisc.
+func (u *UserIsolation) Bytes() int {
+	n := 0
+	for _, c := range u.users {
+		n += c.fifo.Bytes()
+	}
+	return n
+}

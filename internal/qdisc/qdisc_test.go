@@ -1,0 +1,385 @@
+package qdisc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func pkt(flow, user, size int) *sim.Packet {
+	return &sim.Packet{FlowID: flow, UserID: user, Size: size}
+}
+
+func TestDropTailFIFOOrder(t *testing.T) {
+	q := NewDropTail(10000)
+	for i := 0; i < 5; i++ {
+		p := pkt(1, 1, 100)
+		p.Seq = int64(i)
+		if !q.Enqueue(p, 0) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	if q.Len() != 5 || q.Bytes() != 500 {
+		t.Fatalf("len/bytes = %d/%d", q.Len(), q.Bytes())
+	}
+	for i := 0; i < 5; i++ {
+		p, ready := q.Dequeue(0)
+		if p == nil || ready != 0 {
+			t.Fatalf("dequeue %d: %v %v", i, p, ready)
+		}
+		if p.Seq != int64(i) {
+			t.Fatalf("out of order: got %d want %d", p.Seq, i)
+		}
+	}
+	if p, _ := q.Dequeue(0); p != nil {
+		t.Error("empty dequeue should return nil")
+	}
+}
+
+func TestDropTailLimit(t *testing.T) {
+	q := NewDropTail(250)
+	if !q.Enqueue(pkt(1, 1, 100), 0) || !q.Enqueue(pkt(1, 1, 100), 0) {
+		t.Fatal("first two should fit")
+	}
+	if q.Enqueue(pkt(1, 1, 100), 0) {
+		t.Error("third packet should overflow")
+	}
+	if q.Dropped != 1 {
+		t.Errorf("Dropped = %d", q.Dropped)
+	}
+	// Unbounded default for non-positive limits.
+	u := NewDropTail(0)
+	if u.Limit() <= 0 {
+		t.Error("non-positive limit should become effectively unbounded")
+	}
+}
+
+func TestDropTailBDPSizing(t *testing.T) {
+	q := NewDropTailBDP(48e6, 100*time.Millisecond, 1)
+	want := int(48e6 / 8 * 0.1)
+	if q.Limit() != want {
+		t.Errorf("limit = %d, want %d", q.Limit(), want)
+	}
+	// Tiny BDPs get a floor.
+	q = NewDropTailBDP(1e3, time.Millisecond, 1)
+	if q.Limit() < 2*sim.MSS {
+		t.Errorf("limit = %d below floor", q.Limit())
+	}
+}
+
+func TestShaperDelaysExcess(t *testing.T) {
+	// 8 Mbit/s shaper = 1ms per 1000-byte packet; burst of 1 packet.
+	s := NewTokenBucketShaper(8e6, 1000, 1<<20)
+	now := time.Duration(0)
+	for i := 0; i < 3; i++ {
+		if !s.Enqueue(pkt(1, 1, 1000), now) {
+			t.Fatalf("enqueue %d refused", i)
+		}
+	}
+	// First packet conforms (full bucket).
+	p, _ := s.Dequeue(now)
+	if p == nil {
+		t.Fatal("first packet should conform")
+	}
+	// Second must wait ~1ms.
+	p, ready := s.Dequeue(now)
+	if p != nil {
+		t.Fatal("second packet should be held")
+	}
+	if ready <= now || ready > now+2*time.Millisecond {
+		t.Errorf("ready = %v, want ~1ms", ready)
+	}
+	// At the ready time it conforms.
+	p, _ = s.Dequeue(ready)
+	if p == nil {
+		t.Error("packet should conform at ready time")
+	}
+}
+
+func TestShaperAchievesConfiguredRate(t *testing.T) {
+	s := NewTokenBucketShaper(8e6, 2000, 1<<20)
+	now := time.Duration(0)
+	sent := 0
+	for i := 0; i < 2000; i++ {
+		s.Enqueue(pkt(1, 1, 1000), now)
+	}
+	for now < time.Second {
+		p, ready := s.Dequeue(now)
+		if p != nil {
+			sent++
+			continue
+		}
+		if ready == 0 {
+			break
+		}
+		now = ready
+	}
+	// 8 Mbit/s = 1000 packets/s of 1000B (+ burst allowance).
+	if sent < 990 || sent > 1020 {
+		t.Errorf("sent %d packets in 1s, want ~1000", sent)
+	}
+}
+
+func TestPolicerDropsExcess(t *testing.T) {
+	// 8 Mbit/s policer, burst 2000B.
+	p := NewTokenBucketPolicer(8e6, 2000)
+	now := time.Duration(0)
+	// Burst: first two conform, then drops.
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if p.Enqueue(pkt(1, 1, 1000), now) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Errorf("accepted %d, want 2 (burst)", accepted)
+	}
+	if p.Policed != 8 {
+		t.Errorf("Policed = %d", p.Policed)
+	}
+	// After time passes, tokens accrue.
+	if !p.Enqueue(pkt(1, 1, 1000), now+2*time.Millisecond) {
+		t.Error("conforming packet after refill should pass")
+	}
+	// Dequeue passes through the FIFO.
+	got := 0
+	for {
+		q, _ := p.Dequeue(now + time.Second)
+		if q == nil {
+			break
+		}
+		got++
+	}
+	if got != 3 {
+		t.Errorf("dequeued %d, want 3", got)
+	}
+}
+
+func TestDRRFairnessBetweenBackloggedFlows(t *testing.T) {
+	d := NewDRR(ByFlow, sim.MSS, 1<<20)
+	// Flow 1 offers twice the packets of flow 2, same sizes.
+	for i := 0; i < 200; i++ {
+		d.Enqueue(pkt(1, 1, 1000), 0)
+		if i%2 == 0 {
+			d.Enqueue(pkt(2, 2, 1000), 0)
+		}
+	}
+	served := map[int]int{}
+	// Serve 150 packets; both flows backlogged throughout (flow 2 has
+	// 100 queued), so service should split evenly.
+	for i := 0; i < 150; i++ {
+		p, _ := d.Dequeue(0)
+		if p == nil {
+			t.Fatal("queue unexpectedly empty")
+		}
+		served[p.FlowID]++
+	}
+	if served[1] != 75 || served[2] != 75 {
+		t.Errorf("service split = %v, want 75/75", served)
+	}
+}
+
+func TestDRRByteFairnessWithUnequalPacketSizes(t *testing.T) {
+	d := NewDRR(ByFlow, sim.MSS, 1<<22)
+	// Flow 1 sends 1500B packets, flow 2 sends 500B packets.
+	for i := 0; i < 300; i++ {
+		d.Enqueue(pkt(1, 1, 1500), 0)
+		d.Enqueue(pkt(2, 2, 500), 0)
+		d.Enqueue(pkt(2, 2, 500), 0)
+		d.Enqueue(pkt(2, 2, 500), 0)
+	}
+	bytes := map[int]int{}
+	totalServed := 0
+	for totalServed < 300*1500 {
+		p, _ := d.Dequeue(0)
+		if p == nil {
+			break
+		}
+		bytes[p.FlowID] += p.Size
+		totalServed += p.Size
+	}
+	// DRR is byte-fair: each flow gets ~half the bytes.
+	ratio := float64(bytes[1]) / float64(bytes[1]+bytes[2])
+	if ratio < 0.45 || ratio > 0.55 {
+		t.Errorf("byte share = %.3f (%v), want ~0.5", ratio, bytes)
+	}
+}
+
+func TestDRRIsolatesLowRateFlow(t *testing.T) {
+	// A heavy flow fills the queue; a light flow's occasional packet
+	// must still be served promptly (drop-from-longest protects it).
+	d := NewDRR(ByFlow, sim.MSS, 20*1500)
+	for i := 0; i < 100; i++ {
+		d.Enqueue(pkt(1, 1, 1500), 0)
+	}
+	if !d.Enqueue(pkt(2, 2, 1500), 0) {
+		t.Fatal("light flow's packet was dropped at enqueue")
+	}
+	// The light packet should be served within the first two rounds.
+	seen := false
+	for i := 0; i < 3; i++ {
+		p, _ := d.Dequeue(0)
+		if p != nil && p.FlowID == 2 {
+			seen = true
+			break
+		}
+	}
+	if !seen {
+		t.Error("light flow not served within two dequeues")
+	}
+}
+
+func TestDRRConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewDRR(ByFlow, sim.MSS, 50*1500)
+		enq, drop := 0, 0
+		for i := 0; i < 300; i++ {
+			p := pkt(rng.Intn(5), 0, 200+rng.Intn(1300))
+			if d.Enqueue(p, 0) {
+				enq++
+			}
+		}
+		drop = int(d.Dropped)
+		deq := 0
+		for {
+			p, _ := d.Dequeue(0)
+			if p == nil {
+				break
+			}
+			deq++
+		}
+		// Note: Dropped counts both enqueue-refusals and head drops of
+		// the longest class, so enqueued-accepted = dequeued exactly
+		// when no head drops happened; in general enq + drop >= 300
+		// and deq <= enq.
+		return deq+drop >= 300 && d.Len() == 0 && d.Bytes() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSFQApproximatesFairness(t *testing.T) {
+	s := NewSFQ(128, 1<<20, 1)
+	for i := 0; i < 100; i++ {
+		s.Enqueue(pkt(1, 1, 1000), 0)
+		s.Enqueue(pkt(2, 2, 1000), 0)
+	}
+	served := map[int]int{}
+	for i := 0; i < 100; i++ {
+		p, _ := s.Dequeue(0)
+		if p == nil {
+			break
+		}
+		served[p.FlowID]++
+	}
+	if served[1] < 40 || served[2] < 40 {
+		t.Errorf("service = %v, want roughly even", served)
+	}
+	if s.Len() != 100 || s.Bytes() != 100*1000 {
+		t.Errorf("len/bytes = %d/%d", s.Len(), s.Bytes())
+	}
+}
+
+func TestPrioStrictOrdering(t *testing.T) {
+	q := NewPrio(2, 1<<20, func(p *sim.Packet) int {
+		if p.FlowID == 1 {
+			return 0
+		}
+		return 1
+	})
+	q.Enqueue(pkt(2, 2, 100), 0)
+	q.Enqueue(pkt(1, 1, 100), 0)
+	q.Enqueue(pkt(2, 2, 100), 0)
+	q.Enqueue(pkt(1, 1, 100), 0)
+	// Both band-0 packets come out first.
+	for i := 0; i < 2; i++ {
+		p, _ := q.Dequeue(0)
+		if p == nil || p.FlowID != 1 {
+			t.Fatalf("dequeue %d = %+v, want band 0", i, p)
+		}
+	}
+	p, _ := q.Dequeue(0)
+	if p == nil || p.FlowID != 2 {
+		t.Fatalf("expected band 1 packet, got %+v", p)
+	}
+	if q.Len() != 1 {
+		t.Errorf("Len = %d", q.Len())
+	}
+}
+
+func TestPrioClampsBands(t *testing.T) {
+	q := NewPrio(2, 1<<20, func(p *sim.Packet) int { return p.FlowID })
+	// FlowID 7 clamps to band 1; -1 clamps to 0.
+	if !q.Enqueue(pkt(7, 1, 100), 0) || !q.Enqueue(pkt(-1, 1, 100), 0) {
+		t.Fatal("clamped enqueues refused")
+	}
+	p, _ := q.Dequeue(0)
+	if p.FlowID != -1 {
+		t.Errorf("band-0 (clamped) packet should come first, got flow %d", p.FlowID)
+	}
+}
+
+func TestUserIsolationRoundRobin(t *testing.T) {
+	u := NewUserIsolation(0, 0, 1<<20) // no caps
+	for i := 0; i < 10; i++ {
+		u.Enqueue(pkt(1, 1, 1000), 0)
+		u.Enqueue(pkt(2, 2, 1000), 0)
+	}
+	counts := map[int]int{}
+	for i := 0; i < 10; i++ {
+		p, _ := u.Dequeue(0)
+		counts[p.UserID]++
+	}
+	if counts[1] != 5 || counts[2] != 5 {
+		t.Errorf("round robin split = %v", counts)
+	}
+}
+
+func TestUserIsolationRateCap(t *testing.T) {
+	// User 1 capped at 8 Mbit/s; user 2 uncapped.
+	u := NewUserIsolation(0, 0, 1<<20)
+	u.SetUserRate(1, 8e6, 1000)
+	for i := 0; i < 10; i++ {
+		u.Enqueue(pkt(1, 1, 1000), 0)
+	}
+	u.Enqueue(pkt(2, 2, 1000), 0)
+	// First: user 1's head conforms (burst).
+	p, _ := u.Dequeue(0)
+	if p.UserID != 1 {
+		t.Fatalf("first = user %d", p.UserID)
+	}
+	// User 1 now out of tokens; user 2 served.
+	p, _ = u.Dequeue(0)
+	if p.UserID != 2 {
+		t.Fatalf("second = user %d, want uncapped user 2", p.UserID)
+	}
+	// Only capped user remains: Dequeue must report the ready time.
+	p, ready := u.Dequeue(0)
+	if p != nil || ready == 0 {
+		t.Fatalf("expected throttle wait, got %+v ready=%v", p, ready)
+	}
+	p, _ = u.Dequeue(ready)
+	if p == nil || p.UserID != 1 {
+		t.Error("capped user should be served once tokens accrue")
+	}
+}
+
+func TestUserIsolationDefaultRate(t *testing.T) {
+	u := NewUserIsolation(8e6, 1000, 1<<20)
+	u.Enqueue(pkt(1, 1, 1000), 0)
+	u.Enqueue(pkt(1, 1, 1000), 0)
+	if p, _ := u.Dequeue(0); p == nil {
+		t.Fatal("burst packet should conform")
+	}
+	if p, ready := u.Dequeue(0); p != nil || ready == 0 {
+		t.Error("second packet should wait for tokens under the default cap")
+	}
+	if u.Len() != 1 || u.Bytes() != 1000 {
+		t.Errorf("len/bytes = %d/%d", u.Len(), u.Bytes())
+	}
+}

@@ -1,0 +1,117 @@
+package qdisc
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// SFQ is stochastic fair queueing: flows are hashed into a fixed number
+// of buckets that are served round-robin (via DRR). Collisions make
+// fairness probabilistic, which is why it is "stochastic"; with a
+// perturbed hash it approximates per-flow fair queueing at O(1) state.
+type SFQ struct {
+	drr     *DRR
+	buckets int
+	perturb int
+}
+
+// NewSFQ returns an SFQ with the given number of hash buckets and total
+// byte limit. perturb seeds the hash so tests can exercise collisions
+// deterministically.
+func NewSFQ(buckets, limitBytes, perturb int) *SFQ {
+	if buckets <= 0 {
+		buckets = 128
+	}
+	s := &SFQ{buckets: buckets, perturb: perturb}
+	s.drr = NewDRR(s.classify, sim.MSS, limitBytes)
+	return s
+}
+
+func (s *SFQ) classify(p *sim.Packet) int {
+	h := uint32(p.FlowID)*2654435761 + uint32(s.perturb)*40503
+	return int(h % uint32(s.buckets))
+}
+
+// Enqueue implements sim.Qdisc.
+func (s *SFQ) Enqueue(p *sim.Packet, now time.Duration) bool { return s.drr.Enqueue(p, now) }
+
+// Dequeue implements sim.Qdisc.
+func (s *SFQ) Dequeue(now time.Duration) (*sim.Packet, time.Duration) { return s.drr.Dequeue(now) }
+
+// Len implements sim.Qdisc.
+func (s *SFQ) Len() int { return s.drr.Len() }
+
+// Bytes implements sim.Qdisc.
+func (s *SFQ) Bytes() int { return s.drr.Bytes() }
+
+// Prio is a strict-priority discipline with a fixed number of bands;
+// band 0 is served first. Hyperscaler WANs use priority queueing to
+// protect interactive traffic (§2.1).
+type Prio struct {
+	bands    []*DropTail
+	classify ClassifyFunc
+	// Dropped counts refused packets.
+	Dropped int64
+}
+
+// NewPrio returns a strict-priority qdisc with n bands of limitBytes
+// each. classify must return a band in [0, n); out-of-range values are
+// clamped.
+func NewPrio(n, limitBytes int, classify ClassifyFunc) *Prio {
+	if n <= 0 {
+		n = 2
+	}
+	bands := make([]*DropTail, n)
+	for i := range bands {
+		bands[i] = NewDropTail(limitBytes)
+	}
+	if classify == nil {
+		classify = func(*sim.Packet) int { return 0 }
+	}
+	return &Prio{bands: bands, classify: classify}
+}
+
+// Enqueue implements sim.Qdisc.
+func (q *Prio) Enqueue(p *sim.Packet, now time.Duration) bool {
+	b := q.classify(p)
+	if b < 0 {
+		b = 0
+	}
+	if b >= len(q.bands) {
+		b = len(q.bands) - 1
+	}
+	ok := q.bands[b].Enqueue(p, now)
+	if !ok {
+		q.Dropped++
+	}
+	return ok
+}
+
+// Dequeue implements sim.Qdisc.
+func (q *Prio) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	for _, b := range q.bands {
+		if p, _ := b.Dequeue(now); p != nil {
+			return p, 0
+		}
+	}
+	return nil, 0
+}
+
+// Len implements sim.Qdisc.
+func (q *Prio) Len() int {
+	n := 0
+	for _, b := range q.bands {
+		n += b.Len()
+	}
+	return n
+}
+
+// Bytes implements sim.Qdisc.
+func (q *Prio) Bytes() int {
+	n := 0
+	for _, b := range q.bands {
+		n += b.Bytes()
+	}
+	return n
+}

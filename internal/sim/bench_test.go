@@ -1,0 +1,44 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkEngineEvents measures raw event throughput: schedule+run of
+// chained events (each event schedules the next).
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := &Engine{}
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < b.N {
+			eng.Schedule(time.Microsecond, next)
+		}
+	}
+	eng.Schedule(time.Microsecond, next)
+	b.ResetTimer()
+	for eng.Step() {
+	}
+	if n < b.N {
+		b.Fatalf("ran %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkLinkForwarding measures the per-packet cost of the link
+// pipeline (enqueue, serialize, propagate, deliver).
+func BenchmarkLinkForwarding(b *testing.B) {
+	eng := &Engine{}
+	link := NewLink(eng, "l", 1e12, time.Microsecond, &testQueue{})
+	got := 0
+	dest := ReceiverFunc(func(*Packet) { got++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Inject(&Packet{Size: MSS, Path: []*Link{link}, Dest: dest})
+		eng.Run(time.Duration(i+1) * time.Millisecond)
+	}
+	if got != b.N {
+		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}

@@ -1,0 +1,131 @@
+// Package sim implements a deterministic packet-level discrete-event
+// network emulator: an event engine with a virtual clock, links that
+// serialize packets at a configured rate through a pluggable queue
+// discipline, and a packet/receiver model that transport endpoints
+// build on.
+//
+// The emulator plays the role Mahimahi plays in the paper's Figure 3
+// experiment: a fixed-rate bottleneck with propagation delay and a
+// finite queue. All behaviour is deterministic given the scheduled
+// event order; randomness only enters through workload generators that
+// take an injected *rand.Rand.
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Engine is a discrete-event scheduler with a virtual clock. The zero
+// value is ready for use; the clock starts at 0.
+type Engine struct {
+	now    time.Duration
+	events eventHeap
+	seq    int64
+	// Processed counts events executed, for tests and runaway guards.
+	Processed int64
+}
+
+// Timer is a handle to a scheduled event that can be cancelled.
+type Timer struct {
+	cancelled bool
+}
+
+// Cancel prevents the associated event from running if it has not run
+// yet. Cancelling an already-fired or already-cancelled timer is a
+// no-op.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.cancelled = true
+	}
+}
+
+type event struct {
+	at    time.Duration
+	seq   int64
+	fn    func()
+	timer *Timer
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn after delay of virtual time. A negative delay is
+// treated as zero (run at the current time, after already-queued events
+// at that time). It returns a Timer that can cancel the event.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.ScheduleAt(e.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to now. Events at equal times run in scheduling order.
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
+	if at < e.now {
+		at = e.now
+	}
+	t := &Timer{}
+	e.seq++
+	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn, timer: t})
+	return t
+}
+
+// Step executes the next pending event, advancing the clock. It returns
+// false when no events remain.
+func (e *Engine) Step() bool {
+	for e.events.Len() > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		if ev.timer.cancelled {
+			continue
+		}
+		e.now = ev.at
+		e.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the clock would pass until, or until no
+// events remain. Events scheduled exactly at until are executed. The
+// clock is left at until (or at the last event time if the queue
+// drained earlier and was behind until... the clock never exceeds
+// until).
+func (e *Engine) Run(until time.Duration) {
+	for e.events.Len() > 0 {
+		next := e.events[0].at
+		if next > until {
+			break
+		}
+		e.Step()
+	}
+	if e.now < until {
+		e.now = until
+	}
+}
+
+// Pending returns the number of events currently queued (including
+// cancelled-but-unreaped ones).
+func (e *Engine) Pending() int { return e.events.Len() }

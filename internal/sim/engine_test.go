@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	eng := &Engine{}
+	var order []int
+	eng.Schedule(2*time.Second, func() { order = append(order, 2) })
+	eng.Schedule(1*time.Second, func() { order = append(order, 1) })
+	eng.Schedule(3*time.Second, func() { order = append(order, 3) })
+	eng.Run(10 * time.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if eng.Now() != 10*time.Second {
+		t.Errorf("Now = %v, want 10s", eng.Now())
+	}
+}
+
+func TestEngineFIFOAtSameTime(t *testing.T) {
+	eng := &Engine{}
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(time.Second, func() { order = append(order, i) })
+	}
+	eng.Run(2 * time.Second)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-time events out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	eng := &Engine{}
+	ran := false
+	eng.Schedule(-5*time.Second, func() { ran = true })
+	eng.Run(0)
+	if !ran {
+		t.Error("negative-delay event should run at now")
+	}
+	if eng.Now() != 0 {
+		t.Errorf("clock moved backwards: %v", eng.Now())
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	eng := &Engine{}
+	ran := false
+	tm := eng.Schedule(time.Second, func() { ran = true })
+	tm.Cancel()
+	tm.Cancel() // double cancel is a no-op
+	eng.Run(5 * time.Second)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	var nilTimer *Timer
+	nilTimer.Cancel() // nil-safe
+}
+
+func TestEngineRunStopsAtLimit(t *testing.T) {
+	eng := &Engine{}
+	var ran []time.Duration
+	eng.Schedule(time.Second, func() { ran = append(ran, eng.Now()) })
+	eng.Schedule(5*time.Second, func() { ran = append(ran, eng.Now()) })
+	eng.Run(3 * time.Second)
+	if len(ran) != 1 {
+		t.Fatalf("ran %d events, want 1", len(ran))
+	}
+	if eng.Now() != 3*time.Second {
+		t.Errorf("Now = %v, want 3s", eng.Now())
+	}
+	// The later event still fires on a subsequent Run.
+	eng.Run(6 * time.Second)
+	if len(ran) != 2 || ran[1] != 5*time.Second {
+		t.Errorf("second run = %v", ran)
+	}
+}
+
+func TestEngineEventsScheduleEvents(t *testing.T) {
+	eng := &Engine{}
+	depth := 0
+	var recurse func()
+	recurse = func() {
+		depth++
+		if depth < 5 {
+			eng.Schedule(time.Second, recurse)
+		}
+	}
+	eng.Schedule(time.Second, recurse)
+	eng.Run(time.Minute)
+	if depth != 5 {
+		t.Errorf("depth = %d, want 5", depth)
+	}
+	if eng.Processed != 5 {
+		t.Errorf("Processed = %d, want 5", eng.Processed)
+	}
+}
+
+func TestEngineStep(t *testing.T) {
+	eng := &Engine{}
+	if eng.Step() {
+		t.Error("Step on empty queue should return false")
+	}
+	eng.Schedule(time.Second, func() {})
+	if !eng.Step() {
+		t.Error("Step should execute the pending event")
+	}
+	if eng.Now() != time.Second {
+		t.Errorf("Now = %v", eng.Now())
+	}
+}
+
+func TestEngineScheduleAtPastClamped(t *testing.T) {
+	eng := &Engine{}
+	eng.Schedule(2*time.Second, func() {
+		// From inside an event at t=2s, scheduling at t=1s clamps to now.
+		eng.ScheduleAt(time.Second, func() {
+			if eng.Now() != 2*time.Second {
+				t.Errorf("past-scheduled event ran at %v", eng.Now())
+			}
+		})
+	})
+	eng.Run(5 * time.Second)
+}
+
+func TestEngineDeterminism(t *testing.T) {
+	run := func() []int {
+		eng := &Engine{}
+		var order []int
+		for i := 0; i < 100; i++ {
+			i := i
+			// Many events at colliding times.
+			eng.Schedule(time.Duration(i%7)*time.Millisecond, func() { order = append(order, i) })
+		}
+		eng.Run(time.Second)
+		return order
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic order at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Qdisc is a queue discipline attached to a link's egress. Enqueue may
+// drop (returning false). Dequeue returns the next packet to serialize;
+// a non-work-conserving qdisc (e.g. a token-bucket shaper) may hold
+// packets back, returning nil together with the earliest time a packet
+// could become available. When the queue is empty Dequeue returns
+// (nil, 0).
+type Qdisc interface {
+	Enqueue(p *Packet, now time.Duration) bool
+	Dequeue(now time.Duration) (*Packet, time.Duration)
+	// Len returns the number of queued packets.
+	Len() int
+	// Bytes returns the number of queued bytes.
+	Bytes() int
+}
+
+// LinkStats aggregates a link's lifetime counters.
+type LinkStats struct {
+	EnqueuedPackets int64
+	DroppedPackets  int64
+	SentPackets     int64
+	SentBytes       int64
+	// BusyTime is the total time the transmitter spent serializing
+	// packets, for utilization computation.
+	BusyTime time.Duration
+}
+
+// Link is a unidirectional fixed-rate link with propagation delay and a
+// pluggable queue discipline. Create links with NewLink.
+type Link struct {
+	Name string
+	// Rate is the serialization rate in bits per second.
+	Rate float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// Q is the egress queue discipline.
+	Q Qdisc
+
+	// OnDrop, if non-nil, is called for each packet the qdisc refused.
+	OnDrop func(p *Packet, now time.Duration)
+	// OnSend, if non-nil, is called when a packet finishes serializing
+	// (before propagation). Tracing hooks use it.
+	OnSend func(p *Packet, now time.Duration)
+
+	eng      *Engine
+	busy     bool
+	retry    *Timer
+	stats    LinkStats
+	lastBusy time.Duration
+}
+
+// NewLink returns a link bound to the engine. rate is in bits/s and
+// must be positive; q must be non-nil.
+func NewLink(eng *Engine, name string, rate float64, delay time.Duration, q Qdisc) *Link {
+	if rate <= 0 {
+		panic(fmt.Sprintf("sim: link %q: non-positive rate %v", name, rate))
+	}
+	if q == nil {
+		panic(fmt.Sprintf("sim: link %q: nil qdisc", name))
+	}
+	return &Link{Name: name, Rate: rate, Delay: delay, Q: q, eng: eng}
+}
+
+// Stats returns a copy of the link's counters.
+func (l *Link) Stats() LinkStats { return l.stats }
+
+// Utilization returns the fraction of [0, now] the transmitter was
+// busy.
+func (l *Link) Utilization(now time.Duration) float64 {
+	if now <= 0 {
+		return 0
+	}
+	return float64(l.stats.BusyTime) / float64(now)
+}
+
+// TransmissionTime returns how long a packet of size bytes takes to
+// serialize at the link rate.
+func (l *Link) TransmissionTime(size int) time.Duration {
+	sec := float64(size*8) / l.Rate
+	return time.Duration(sec * float64(time.Second))
+}
+
+// Send enqueues the packet and starts the transmitter if idle.
+func (l *Link) Send(p *Packet) {
+	now := l.eng.Now()
+	if !l.Q.Enqueue(p, now) {
+		l.stats.DroppedPackets++
+		if l.OnDrop != nil {
+			l.OnDrop(p, now)
+		}
+		return
+	}
+	l.stats.EnqueuedPackets++
+	if !l.busy {
+		l.kick()
+	}
+}
+
+// kick attempts to dequeue and serialize the next packet. It manages
+// the retry timer for non-work-conserving qdiscs.
+func (l *Link) kick() {
+	if l.retry != nil {
+		l.retry.Cancel()
+		l.retry = nil
+	}
+	now := l.eng.Now()
+	p, ready := l.Q.Dequeue(now)
+	if p == nil {
+		if ready > now {
+			// Shaped: try again when tokens accrue.
+			l.retry = l.eng.ScheduleAt(ready, l.kick)
+		}
+		return
+	}
+	l.busy = true
+	tx := l.TransmissionTime(p.Size)
+	l.eng.Schedule(tx, func() { l.finish(p, tx) })
+}
+
+func (l *Link) finish(p *Packet, tx time.Duration) {
+	now := l.eng.Now()
+	l.busy = false
+	l.stats.SentPackets++
+	l.stats.SentBytes += int64(p.Size)
+	l.stats.BusyTime += tx
+	if l.OnSend != nil {
+		l.OnSend(p, now)
+	}
+	// Propagate, then continue along the path.
+	l.eng.Schedule(l.Delay, func() { advance(p) })
+	l.kick()
+}

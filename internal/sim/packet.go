@@ -1,0 +1,84 @@
+package sim
+
+import "time"
+
+// MSS is the maximum segment size in bytes used throughout the
+// emulator. Rate math treats a packet's Size as its full wire size.
+const MSS = 1500
+
+// Packet is the unit of transmission. Packets are allocated by senders
+// and flow through links to a final Receiver; they are not copied, so a
+// packet must not be re-injected while in flight.
+type Packet struct {
+	// FlowID identifies the transport flow the packet belongs to; queue
+	// disciplines use it for per-flow scheduling.
+	FlowID int
+	// UserID identifies the subscriber the flow belongs to; per-user
+	// isolation mechanisms (shapers, HTB-style qdiscs) key on it.
+	UserID int
+	// Seq is the sender's sequence number for data packets, or the
+	// sequence being acknowledged for ACK packets.
+	Seq int64
+	// CumAck is the highest contiguously received sequence (ACK packets
+	// only).
+	CumAck int64
+	// RWnd is the receiver's advertised window in bytes, piggybacked on
+	// ACK packets. 0 means unlimited.
+	RWnd int
+	// Size is the packet size in bytes.
+	Size int
+	// SentAt is the virtual time the packet entered the network.
+	SentAt time.Duration
+	// Retx marks retransmissions.
+	Retx bool
+	// Ack marks acknowledgment packets.
+	Ack bool
+	// Payload carries an optional opaque reference for higher layers
+	// (e.g. per-chunk bookkeeping); the emulator never inspects it.
+	Payload interface{}
+
+	// Path is the ordered list of links the packet traverses; Dest
+	// receives it after the final hop. An empty Path delivers directly.
+	Path []*Link
+	hop  int
+	Dest Receiver
+}
+
+// Receiver consumes packets at the end of their path. Transport
+// endpoints implement Receiver.
+type Receiver interface {
+	Receive(p *Packet)
+}
+
+// ReceiverFunc adapts a function to the Receiver interface.
+type ReceiverFunc func(p *Packet)
+
+// Receive implements Receiver.
+func (f ReceiverFunc) Receive(p *Packet) { f(p) }
+
+// Inject starts the packet on its path. It must be called exactly once
+// per packet. If the packet has no path it is delivered to Dest
+// immediately (zero latency).
+func Inject(p *Packet) {
+	p.hop = 0
+	if len(p.Path) == 0 {
+		if p.Dest != nil {
+			p.Dest.Receive(p)
+		}
+		return
+	}
+	p.Path[0].Send(p)
+}
+
+// advance moves the packet to its next hop after finishing a link, or
+// delivers it.
+func advance(p *Packet) {
+	p.hop++
+	if p.hop < len(p.Path) {
+		p.Path[p.hop].Send(p)
+		return
+	}
+	if p.Dest != nil {
+		p.Dest.Receive(p)
+	}
+}

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// RateDriver varies a link's rate over time, modelling the
+// high-variability links (cellular, satellite) that §2.3 and §5.1 of
+// the paper argue are the environments future CCAs should target.
+// Rate changes apply to subsequent transmissions; a packet mid-flight
+// finishes at the rate it started with, matching how a fading radio
+// link drains its current frame.
+type RateDriver struct {
+	eng  *Engine
+	link *Link
+	stop bool
+	// Trace records the applied (time, rate) steps for analysis.
+	Trace []RatePoint
+}
+
+// RatePoint is one step of a rate trace.
+type RatePoint struct {
+	At  time.Duration
+	Bps float64
+}
+
+// DriveRate applies rate(t) to the link every interval. The returned
+// driver can be stopped.
+func DriveRate(eng *Engine, link *Link, interval time.Duration, rate func(t time.Duration) float64) *RateDriver {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	d := &RateDriver{eng: eng, link: link}
+	var tick func()
+	tick = func() {
+		if d.stop {
+			return
+		}
+		r := rate(eng.Now())
+		if r < 1e3 {
+			r = 1e3 // never zero: the emulator needs a positive rate
+		}
+		link.Rate = r
+		d.Trace = append(d.Trace, RatePoint{At: eng.Now(), Bps: r})
+		eng.Schedule(interval, tick)
+	}
+	tick()
+	return d
+}
+
+// Stop freezes the link at its current rate.
+func (d *RateDriver) Stop() { d.stop = true }
+
+// CellularTrace returns a rate function modelling a fading cellular
+// link: a mean-reverting random walk around mean with step size sigma,
+// clamped to [mean/5, 2*mean]. Mean reversion keeps the long-run
+// average near mean (a plain geometric walk drifts into its clamps).
+// The function is stateful and must be sampled at monotonically
+// non-decreasing times (as DriveRate does).
+func CellularTrace(rng *rand.Rand, mean, sigma float64) func(t time.Duration) float64 {
+	level := 1.0
+	return func(time.Duration) float64 {
+		level += 0.1*(1-level) + sigma*rng.NormFloat64()
+		if level < 0.2 {
+			level = 0.2
+		}
+		if level > 2 {
+			level = 2
+		}
+		return mean * level
+	}
+}
+
+// StepTrace returns a rate function that follows a fixed step
+// schedule: rates[i] applies from times[i] (times must be ascending;
+// before times[0] the first rate applies).
+func StepTrace(times []time.Duration, rates []float64) func(t time.Duration) float64 {
+	return func(t time.Duration) float64 {
+		if len(rates) == 0 {
+			return 1e6
+		}
+		cur := rates[0]
+		for i, at := range times {
+			if i < len(rates) && t >= at {
+				cur = rates[i]
+			}
+		}
+		return cur
+	}
+}

@@ -1,0 +1,99 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestDriveRateAppliesSteps(t *testing.T) {
+	eng := &Engine{}
+	link := NewLink(eng, "l", 10e6, time.Millisecond, &testQueue{})
+	rates := StepTrace(
+		[]time.Duration{0, time.Second, 2 * time.Second},
+		[]float64{10e6, 20e6, 5e6},
+	)
+	d := DriveRate(eng, link, 100*time.Millisecond, rates)
+	eng.Run(500 * time.Millisecond)
+	if link.Rate != 10e6 {
+		t.Errorf("rate at 0.5s = %v", link.Rate)
+	}
+	eng.Run(1500 * time.Millisecond)
+	if link.Rate != 20e6 {
+		t.Errorf("rate at 1.5s = %v", link.Rate)
+	}
+	eng.Run(2500 * time.Millisecond)
+	if link.Rate != 5e6 {
+		t.Errorf("rate at 2.5s = %v", link.Rate)
+	}
+	if len(d.Trace) == 0 {
+		t.Error("trace not recorded")
+	}
+	d.Stop()
+	eng.Run(5 * time.Second)
+	n := len(d.Trace)
+	eng.Run(10 * time.Second)
+	if len(d.Trace) != n {
+		t.Error("driver kept running after Stop")
+	}
+}
+
+func TestDriveRateFloorsAtPositive(t *testing.T) {
+	eng := &Engine{}
+	link := NewLink(eng, "l", 10e6, time.Millisecond, &testQueue{})
+	DriveRate(eng, link, 100*time.Millisecond, func(time.Duration) float64 { return 0 })
+	eng.Run(time.Second)
+	if link.Rate <= 0 {
+		t.Errorf("rate = %v, must stay positive", link.Rate)
+	}
+}
+
+func TestCellularTraceBoundsAndMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	trace := CellularTrace(rng, 20e6, 0.15)
+	var sum float64
+	const n = 10000
+	for i := 0; i < n; i++ {
+		r := trace(0)
+		if r < 20e6*0.2-1 || r > 20e6*2+1 {
+			t.Fatalf("rate %v outside clamps", r)
+		}
+		sum += r
+	}
+	mean := sum / n
+	// Mean reversion keeps the long-run average near the nominal mean.
+	if mean < 14e6 || mean > 26e6 {
+		t.Errorf("long-run mean = %.1f Mbit/s, want ~20", mean/1e6)
+	}
+}
+
+func TestVaryingLinkAffectsDelivery(t *testing.T) {
+	eng := &Engine{}
+	link := NewLink(eng, "l", 10e6, 0, &testQueue{})
+	// Slow the link tenfold after 100 packets' worth of time.
+	DriveRate(eng, link, 10*time.Millisecond, StepTrace(
+		[]time.Duration{0, 500 * time.Millisecond},
+		[]float64{10e6, 1e6},
+	))
+	var delivered []time.Duration
+	dest := ReceiverFunc(func(*Packet) { delivered = append(delivered, eng.Now()) })
+	// Two packets: one early (fast), one late (slow).
+	eng.ScheduleAt(100*time.Millisecond, func() {
+		Inject(&Packet{Size: 1250, Path: []*Link{link}, Dest: dest})
+	})
+	eng.ScheduleAt(time.Second, func() {
+		Inject(&Packet{Size: 1250, Path: []*Link{link}, Dest: dest})
+	})
+	eng.Run(3 * time.Second)
+	if len(delivered) != 2 {
+		t.Fatalf("delivered %d", len(delivered))
+	}
+	fast := delivered[0] - 100*time.Millisecond
+	slow := delivered[1] - time.Second
+	if fast != time.Millisecond {
+		t.Errorf("fast tx = %v, want 1ms", fast)
+	}
+	if slow != 10*time.Millisecond {
+		t.Errorf("slow tx = %v, want 10ms", slow)
+	}
+}

@@ -1,0 +1,145 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// CDF is an empirical cumulative distribution function over float64
+// samples. The zero value is an empty CDF ready for use.
+type CDF struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewCDF returns a CDF over a copy of the provided samples.
+func NewCDF(samples []float64) *CDF {
+	c := &CDF{samples: append([]float64(nil), samples...)}
+	c.sort()
+	return c
+}
+
+// Add appends a sample.
+func (c *CDF) Add(x float64) {
+	c.samples = append(c.samples, x)
+	c.sorted = false
+}
+
+// Len returns the number of samples.
+func (c *CDF) Len() int { return len(c.samples) }
+
+func (c *CDF) sort() {
+	if !c.sorted {
+		sort.Float64s(c.samples)
+		c.sorted = true
+	}
+}
+
+// At returns the empirical CDF evaluated at x: the fraction of samples
+// <= x. An empty CDF evaluates to 0 everywhere.
+func (c *CDF) At(x float64) float64 {
+	if len(c.samples) == 0 {
+		return 0
+	}
+	c.sort()
+	i := sort.SearchFloat64s(c.samples, x)
+	// SearchFloat64s returns the first index with samples[i] >= x; move
+	// past duplicates equal to x so the result counts samples <= x.
+	for i < len(c.samples) && c.samples[i] == x {
+		i++
+	}
+	return float64(i) / float64(len(c.samples))
+}
+
+// Quantile returns the q-quantile of the sample set. It returns
+// ErrEmpty when no samples have been added.
+func (c *CDF) Quantile(q float64) (float64, error) {
+	if len(c.samples) == 0 {
+		return 0, ErrEmpty
+	}
+	c.sort()
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	return quantileSorted(c.samples, q), nil
+}
+
+// Points returns n evenly spaced (value, cumulative fraction) points
+// suitable for plotting. For n < 2 it returns at most one point.
+func (c *CDF) Points(n int) [][2]float64 {
+	if len(c.samples) == 0 || n <= 0 {
+		return nil
+	}
+	c.sort()
+	if n == 1 {
+		return [][2]float64{{c.samples[len(c.samples)-1], 1}}
+	}
+	pts := make([][2]float64, 0, n)
+	for i := 0; i < n; i++ {
+		q := float64(i) / float64(n-1)
+		v := quantileSorted(c.samples, q)
+		pts = append(pts, [2]float64{v, q})
+	}
+	return pts
+}
+
+// String renders a compact summary (min/p25/p50/p75/p90/p99/max).
+func (c *CDF) String() string {
+	if len(c.samples) == 0 {
+		return "CDF(empty)"
+	}
+	c.sort()
+	var b strings.Builder
+	b.WriteString("CDF(")
+	qs := []struct {
+		name string
+		q    float64
+	}{{"min", 0}, {"p25", 0.25}, {"p50", 0.5}, {"p75", 0.75}, {"p90", 0.9}, {"p99", 0.99}, {"max", 1}}
+	for i, s := range qs {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%.4g", s.name, quantileSorted(c.samples, s.q))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// Welford is an online mean/variance accumulator (Welford's algorithm).
+// The zero value is ready for use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add folds one sample into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// N returns the number of samples accumulated.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the running mean (0 if no samples).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance (0 if fewer than two
+// samples).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,208 @@
+package traffic
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// VideoConfig parameterizes an adaptive-bitrate video stream. The model
+// follows the structure of deployed players: content is divided into
+// fixed-duration chunks encoded at a ladder of bitrates; the player
+// keeps a playback buffer between low and high watermarks, requesting
+// the next chunk when below the high mark and idling otherwise. Bitrate
+// selection combines a throughput rule (EWMA of recent chunk download
+// rates, with a safety factor) and buffer-based overrides (BBA-style).
+//
+// The essential property for the paper's argument is that the stream's
+// long-run offered load is bounded by its top bitrate — it is
+// application-limited, so it does not contend like a backlogged CCA
+// flow.
+type VideoConfig struct {
+	// Ladder lists available bitrates in bits/s, ascending (default:
+	// 1, 2.5, 4, 6, 8 Mbit/s — a typical HD ladder).
+	Ladder []float64
+	// ChunkDuration is seconds of content per chunk (default 2s).
+	ChunkDuration time.Duration
+	// BufferLow and BufferHigh are the playback-buffer watermarks
+	// (default 5s / 15s).
+	BufferLow, BufferHigh time.Duration
+	// SafetyFactor scales the throughput estimate when picking a
+	// bitrate (default 0.8).
+	SafetyFactor float64
+}
+
+func (c VideoConfig) norm() VideoConfig {
+	if len(c.Ladder) == 0 {
+		c.Ladder = []float64{1e6, 2.5e6, 4e6, 6e6, 8e6}
+	}
+	if c.ChunkDuration <= 0 {
+		c.ChunkDuration = 2 * time.Second
+	}
+	if c.BufferLow <= 0 {
+		c.BufferLow = 5 * time.Second
+	}
+	if c.BufferHigh <= c.BufferLow {
+		c.BufferHigh = c.BufferLow + 10*time.Second
+	}
+	if c.SafetyFactor <= 0 {
+		c.SafetyFactor = 0.8
+	}
+	return c
+}
+
+// Video is an ABR video stream over one transport flow.
+type Video struct {
+	Flow *transport.Flow
+	cfg  VideoConfig
+	eng  *sim.Engine
+
+	bitrateIdx  int
+	buffer      time.Duration // seconds of content buffered
+	lastUpdate  time.Duration
+	playing     bool
+	downloading bool
+	chunkStart  time.Duration
+	chunkBytes  int64
+	ackedAtReq  int64
+	stopped     bool
+
+	tputEWMA *stats.EWMA
+
+	// ChunksFetched counts completed chunk downloads.
+	ChunksFetched int
+	// Rebuffers counts playback stalls.
+	Rebuffers int
+	// RebufferTime accumulates stall duration.
+	RebufferTime time.Duration
+	// BitrateSeries records the selected bitrate at each chunk request.
+	BitrateSeries stats.Series
+	// BufferSeries records the playback buffer (seconds) at each chunk
+	// completion.
+	BufferSeries stats.Series
+}
+
+// NewVideo creates the stream and requests its first chunk.
+func NewVideo(eng *sim.Engine, fcfg transport.FlowConfig, cfg VideoConfig) *Video {
+	fcfg.Backlogged = false
+	v := &Video{
+		Flow:     transport.NewFlow(eng, fcfg),
+		cfg:      cfg.norm(),
+		eng:      eng,
+		tputEWMA: stats.NewEWMA(0.4),
+	}
+	v.lastUpdate = eng.Now()
+	v.requestChunk()
+	return v
+}
+
+// Stop ends the stream.
+func (v *Video) Stop() { v.stopped = true }
+
+// Bitrate returns the currently selected bitrate in bits/s.
+func (v *Video) Bitrate() float64 { return v.cfg.Ladder[v.bitrateIdx] }
+
+// Buffer returns the current playback buffer level.
+func (v *Video) Buffer() time.Duration {
+	v.advancePlayback()
+	return v.buffer
+}
+
+// advancePlayback drains the buffer for elapsed playback time and
+// tracks rebuffering.
+func (v *Video) advancePlayback() {
+	now := v.eng.Now()
+	el := now - v.lastUpdate
+	v.lastUpdate = now
+	if el <= 0 {
+		return
+	}
+	if !v.playing {
+		// Startup / rebuffering: waiting for the buffer to refill.
+		v.RebufferTime += el
+		return
+	}
+	if el >= v.buffer {
+		// Stall.
+		v.RebufferTime += el - v.buffer
+		v.buffer = 0
+		v.playing = false
+		v.Rebuffers++
+		return
+	}
+	v.buffer -= el
+}
+
+func (v *Video) requestChunk() {
+	if v.stopped {
+		return
+	}
+	v.advancePlayback()
+	if v.buffer >= v.cfg.BufferHigh {
+		// Full: idle until one chunk of content has played out.
+		v.eng.Schedule(v.cfg.ChunkDuration, v.requestChunk)
+		return
+	}
+	v.pickBitrate()
+	now := v.eng.Now()
+	v.chunkBytes = int64(v.Bitrate() * v.cfg.ChunkDuration.Seconds() / 8)
+	v.chunkStart = now
+	v.ackedAtReq = v.Flow.Sender.BytesAcked()
+	v.downloading = true
+	v.BitrateSeries.Append(now, v.Bitrate())
+	v.Flow.Sender.OnComplete = nil // reset any prior hook
+	v.Flow.Sender.Supply(v.chunkBytes)
+	v.pollChunk()
+}
+
+// pollChunk watches for chunk completion. Polling at a small interval
+// keeps the video model independent of transport internals.
+func (v *Video) pollChunk() {
+	if v.stopped {
+		return
+	}
+	if v.Flow.Sender.BytesAcked()-v.ackedAtReq >= v.chunkBytes {
+		v.finishChunk()
+		return
+	}
+	v.eng.Schedule(10*time.Millisecond, v.pollChunk)
+}
+
+func (v *Video) finishChunk() {
+	now := v.eng.Now()
+	v.downloading = false
+	v.ChunksFetched++
+	dl := (now - v.chunkStart).Seconds()
+	if dl > 0 {
+		v.tputEWMA.Update(float64(v.chunkBytes) * 8 / dl)
+	}
+	v.advancePlayback()
+	v.buffer += v.cfg.ChunkDuration
+	v.BufferSeries.Append(now, v.buffer.Seconds())
+	if !v.playing && v.buffer >= v.cfg.BufferLow {
+		v.playing = true
+	}
+	v.requestChunk()
+}
+
+// pickBitrate selects the next chunk's bitrate.
+func (v *Video) pickBitrate() {
+	est := v.tputEWMA.Value() * v.cfg.SafetyFactor
+	idx := 0
+	if v.tputEWMA.Initialized() {
+		for i, r := range v.cfg.Ladder {
+			if r <= est {
+				idx = i
+			}
+		}
+	}
+	// Buffer overrides: panic down when low, allow up when high.
+	if v.buffer < v.cfg.BufferLow/2 {
+		idx = 0
+	} else if v.buffer > v.cfg.BufferHigh*3/4 && idx < len(v.cfg.Ladder)-1 {
+		idx++
+	}
+	v.bitrateIdx = idx
+}

@@ -1,0 +1,214 @@
+package transport_test
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// lossyQueue drops a deterministic pseudo-random fraction of packets at
+// enqueue, modelling a corrupting link (distinct from congestive loss).
+type lossyQueue struct {
+	inner sim.Qdisc
+	rng   *rand.Rand
+	p     float64
+	drops int
+}
+
+func newLossyQueue(inner sim.Qdisc, p float64, seed int64) *lossyQueue {
+	return &lossyQueue{inner: inner, rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+func (l *lossyQueue) Enqueue(pkt *sim.Packet, now time.Duration) bool {
+	if l.rng.Float64() < l.p {
+		l.drops++
+		return false
+	}
+	return l.inner.Enqueue(pkt, now)
+}
+func (l *lossyQueue) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	return l.inner.Dequeue(now)
+}
+func (l *lossyQueue) Len() int   { return l.inner.Len() }
+func (l *lossyQueue) Bytes() int { return l.inner.Bytes() }
+
+// TestDeliveryUnderRandomLoss checks the transport delivers everything
+// through a 2% random-loss link.
+func TestDeliveryUnderRandomLoss(t *testing.T) {
+	eng := &sim.Engine{}
+	q := newLossyQueue(qdisc.NewDropTail(1<<20), 0.02, 42)
+	link := sim.NewLink(eng, "l", 20e6, 10*time.Millisecond, q)
+	done := false
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewCubicCC(),
+	})
+	f.Sender.OnComplete = func(time.Duration) { done = true }
+	const total = 4 << 20
+	f.Sender.Supply(total)
+	eng.Run(2 * time.Minute)
+	if !done {
+		t.Fatalf("incomplete: acked %d of %d (link drops %d)",
+			f.Sender.BytesAcked(), total, q.drops)
+	}
+	if q.drops == 0 {
+		t.Fatal("loss injection did not fire")
+	}
+	if f.Sender.BytesAcked() != total {
+		t.Errorf("acked %d, want %d", f.Sender.BytesAcked(), total)
+	}
+}
+
+// TestDeliveryWithLossyAckPath routes acknowledgments through a lossy
+// reverse link: lost acks must not corrupt delivery accounting.
+func TestDeliveryWithLossyAckPath(t *testing.T) {
+	eng := &sim.Engine{}
+	fwd := sim.NewLink(eng, "fwd", 20e6, 10*time.Millisecond, qdisc.NewDropTail(1<<20))
+	revQ := newLossyQueue(qdisc.NewDropTail(1<<20), 0.05, 7)
+	rev := sim.NewLink(eng, "rev", 20e6, 10*time.Millisecond, revQ)
+	done := false
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{fwd}, ReturnPath: []*sim.Link{rev},
+		CC: cca.NewCubicCC(),
+	})
+	f.Sender.OnComplete = func(time.Duration) { done = true }
+	const total = 2 << 20
+	f.Sender.Supply(total)
+	eng.Run(2 * time.Minute)
+	if !done {
+		t.Fatalf("incomplete with lossy ack path: acked %d of %d (ack drops %d)",
+			f.Sender.BytesAcked(), total, revQ.drops)
+	}
+	if revQ.drops == 0 {
+		t.Fatal("ack loss injection did not fire")
+	}
+	// Lost acks appear as data loss to the sender: it retransmits the
+	// (actually delivered) data. The receiver must have everything.
+	if f.Receiver.ReceivedBytes() < total {
+		t.Errorf("receiver got %d, want >= %d", f.Receiver.ReceivedBytes(), total)
+	}
+}
+
+// reorderQueue releases packets in bursts of reversed order,
+// stress-testing the packet-threshold loss detector.
+type reorderQueue struct {
+	inner  *qdisc.DropTail
+	stash  []*sim.Packet
+	period int
+}
+
+func (r *reorderQueue) flush(now time.Duration) {
+	for i := len(r.stash) - 1; i >= 0; i-- {
+		r.inner.Enqueue(r.stash[i], now)
+	}
+	r.stash = r.stash[:0]
+}
+
+func (r *reorderQueue) Enqueue(p *sim.Packet, now time.Duration) bool {
+	r.stash = append(r.stash, p)
+	if len(r.stash) >= r.period {
+		r.flush(now)
+	}
+	return true
+}
+func (r *reorderQueue) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	if r.inner.Len() == 0 && len(r.stash) > 0 {
+		// A real network reorders within bounded time; release the
+		// stash rather than black-holing a tail.
+		r.flush(now)
+	}
+	return r.inner.Dequeue(now)
+}
+func (r *reorderQueue) Len() int   { return r.inner.Len() + len(r.stash) }
+func (r *reorderQueue) Bytes() int { return r.inner.Bytes() }
+
+// TestMildReorderingDoesNotStall verifies that reordering within the
+// loss threshold neither stalls the flow nor spuriously retransmits
+// much.
+func TestMildReorderingDoesNotStall(t *testing.T) {
+	eng := &sim.Engine{}
+	q := &reorderQueue{inner: qdisc.NewDropTail(1 << 20), period: 2}
+	link := sim.NewLink(eng, "l", 20e6, 10*time.Millisecond, q)
+	done := false
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewCubicCC(),
+	})
+	f.Sender.OnComplete = func(time.Duration) { done = true }
+	const total = 1 << 20
+	f.Sender.Supply(total)
+	eng.Run(time.Minute)
+	if !done {
+		t.Fatalf("incomplete under reordering: acked %d", f.Sender.BytesAcked())
+	}
+	snap := f.Sender.Snapshot()
+	// Swaps of adjacent packets stay under the 3-packet threshold: no
+	// spurious loss recovery.
+	if snap.BytesRetrans > total/20 {
+		t.Errorf("excessive retransmission under mild reordering: %d", snap.BytesRetrans)
+	}
+}
+
+// TestHeavyReorderingStillCompletes: reordering beyond the threshold
+// causes spurious retransmissions but must not wedge the connection.
+func TestHeavyReorderingStillCompletes(t *testing.T) {
+	eng := &sim.Engine{}
+	q := &reorderQueue{inner: qdisc.NewDropTail(1 << 20), period: 8}
+	link := sim.NewLink(eng, "l", 20e6, 10*time.Millisecond, q)
+	done := false
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewCubicCC(),
+	})
+	f.Sender.OnComplete = func(time.Duration) { done = true }
+	f.Sender.Supply(1 << 20)
+	eng.Run(2 * time.Minute)
+	if !done {
+		t.Fatalf("wedged under heavy reordering: acked %d inflight %d",
+			f.Sender.BytesAcked(), f.Sender.Inflight())
+	}
+}
+
+// TestManyFlowsSharedLinkConservation is a stress/conservation test:
+// many concurrent flows with random sizes on a small buffer; every
+// flow must finish and the sum of receiver bytes must equal the sum of
+// supplied bytes.
+func TestManyFlowsSharedLinkConservation(t *testing.T) {
+	eng := &sim.Engine{}
+	link := sim.NewLink(eng, "l", 50e6, 5*time.Millisecond, qdisc.NewDropTail(32*sim.MSS))
+	rng := rand.New(rand.NewSource(11))
+	type rec struct {
+		f    *transport.Flow
+		size int64
+		done bool
+	}
+	var flows []*rec
+	for i := 0; i < 40; i++ {
+		r := &rec{size: int64(1000 + rng.Intn(500_000))}
+		f := transport.NewFlow(eng, transport.FlowConfig{
+			ID: i + 1, Path: []*sim.Link{link}, ReturnDelay: 5 * time.Millisecond,
+			CC: cca.NewRenoCC(),
+		})
+		f.Sender.OnComplete = func(time.Duration) { r.done = true }
+		r.f = f
+		flows = append(flows, r)
+		start := time.Duration(rng.Intn(2000)) * time.Millisecond
+		sz := r.size
+		eng.ScheduleAt(start, func() { f.Sender.Supply(sz) })
+	}
+	eng.Run(3 * time.Minute)
+	for i, r := range flows {
+		if !r.done {
+			t.Errorf("flow %d incomplete: acked %d of %d", i+1, r.f.Sender.BytesAcked(), r.size)
+			continue
+		}
+		if r.f.Sender.BytesAcked() != r.size {
+			t.Errorf("flow %d acked %d, want %d", i+1, r.f.Sender.BytesAcked(), r.size)
+		}
+	}
+}

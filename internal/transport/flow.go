@@ -1,0 +1,154 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/tcpinfo"
+)
+
+// FlowConfig describes one transport flow through the emulated network.
+type FlowConfig struct {
+	// ID identifies the flow (used by per-flow queue disciplines). IDs
+	// should be unique within a scenario.
+	ID int
+	// UserID identifies the subscriber (used by per-user isolation).
+	UserID int
+	// Path is the forward path the flow's data packets traverse.
+	Path []*sim.Link
+	// ReturnPath, if non-empty, routes acknowledgments through links
+	// (so they can experience queueing). If empty, acknowledgments
+	// return after ReturnDelay.
+	ReturnPath []*sim.Link
+	// ReturnDelay is the fixed one-way delay for acknowledgments when
+	// ReturnPath is empty.
+	ReturnDelay time.Duration
+	// CC is the congestion controller. Required.
+	CC CCA
+	// MSS overrides the segment size (default sim.MSS).
+	MSS int
+	// RecvBuffer, if positive, bounds the receiver's buffer in bytes;
+	// combined with DrainRate it produces receiver-limited behaviour.
+	RecvBuffer int
+	// DrainRate is the receiving application's consumption rate in
+	// bytes/s (0 = infinitely fast).
+	DrainRate float64
+	// Backlogged starts the flow persistently backlogged.
+	Backlogged bool
+	// OpenLoop disables retransmission: lost bytes are forgotten, and
+	// completion fires once everything supplied has been transmitted
+	// once and either acknowledged or declared lost. This models
+	// one-shot datagram traffic (or a closed-loop analysis that
+	// treats the offered load as exogenous).
+	OpenLoop bool
+	// TraceRTT retains per-ack RTT samples on the sender.
+	TraceRTT bool
+}
+
+// Flow couples a Sender and Receiver over the emulated network.
+type Flow struct {
+	Sender   *Sender
+	Receiver *Receiver
+	cfg      FlowConfig
+	eng      *sim.Engine
+	started  time.Duration
+}
+
+// NewFlow wires up a flow on the engine. It panics on invalid
+// configuration (nil CC), since that is a programming error.
+func NewFlow(eng *sim.Engine, cfg FlowConfig) *Flow {
+	if cfg.CC == nil {
+		panic(fmt.Sprintf("transport: flow %d: nil congestion controller", cfg.ID))
+	}
+	if cfg.MSS <= 0 {
+		cfg.MSS = sim.MSS
+	}
+	s := &Sender{
+		eng:      eng,
+		flowID:   cfg.ID,
+		userID:   cfg.UserID,
+		path:     cfg.Path,
+		cc:       cfg.CC,
+		mss:      cfg.MSS,
+		openLoop: cfg.OpenLoop,
+		inflight: make(map[int64]sentInfo),
+		TraceRTT: cfg.TraceRTT,
+		startAt:  eng.Now(),
+	}
+	s.stateSince = eng.Now()
+	r := &Receiver{
+		eng:         eng,
+		sender:      s,
+		returnPath:  cfg.ReturnPath,
+		returnDelay: cfg.ReturnDelay,
+		bufCap:      cfg.RecvBuffer,
+		drainRate:   cfg.DrainRate,
+		lastDrain:   eng.Now(),
+	}
+	s.dest = r
+	if cfg.RecvBuffer > 0 {
+		s.rwnd = cfg.RecvBuffer
+	}
+	f := &Flow{Sender: s, Receiver: r, cfg: cfg, eng: eng, started: eng.Now()}
+	if cfg.Backlogged {
+		s.SetBacklogged(true)
+	}
+	return f
+}
+
+// Start triggers the first transmission attempt (needed when the flow
+// was configured backlogged before the engine ran, or after Supply
+// calls made outside engine events).
+func (f *Flow) Start() { f.Sender.trySend() }
+
+// Throughput returns the flow's average delivery rate in bits/s over
+// [from, to] of virtual time.
+func (f *Flow) Throughput(from, to time.Duration) float64 {
+	return f.Sender.Delivered.Rate(from, to) * 8
+}
+
+// GoodputBps returns average delivery rate in bits/s over the flow's
+// lifetime so far.
+func (f *Flow) GoodputBps() float64 {
+	now := f.eng.Now()
+	if now <= f.started {
+		return 0
+	}
+	return float64(f.Sender.BytesAcked()) * 8 / (now - f.started).Seconds()
+}
+
+// Sampler periodically records TCP_INFO snapshots for a flow,
+// mirroring the NDT snapshot stream the M-Lab analysis consumes.
+type Sampler struct {
+	Snapshots []tcpinfo.Snapshot
+	flow      *Flow
+	interval  time.Duration
+	prevAcked int64
+	stopped   bool
+}
+
+// NewSampler starts sampling the flow every interval. Samples
+// accumulate in Snapshots until Stop.
+func NewSampler(eng *sim.Engine, f *Flow, interval time.Duration) *Sampler {
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	sm := &Sampler{flow: f, interval: interval}
+	var tick func()
+	tick = func() {
+		if sm.stopped {
+			return
+		}
+		snap := f.Sender.Snapshot()
+		snap.ThroughputBps = float64(f.Sender.BytesAcked()-sm.prevAcked) * 8 / interval.Seconds()
+		sm.prevAcked = f.Sender.BytesAcked()
+		sm.Snapshots = append(sm.Snapshots, snap)
+		eng.Schedule(interval, tick)
+	}
+	eng.Schedule(interval, tick)
+	return sm
+}
+
+// Stop ceases sampling.
+func (s *Sampler) Stop() { s.stopped = true }

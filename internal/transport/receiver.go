@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Receiver is the receiving endpoint of a Flow. It acknowledges every
+// data packet and models receive-buffer flow control: with a finite
+// buffer and an application drain rate, it advertises shrinking windows
+// under slow consumers — the mechanism behind "receiver-limited" flows
+// in the M-Lab analysis.
+type Receiver struct {
+	eng    *sim.Engine
+	sender *Sender
+
+	returnPath  []*sim.Link
+	returnDelay time.Duration
+
+	// Flow control. bufCap == 0 means an unlimited buffer (always
+	// advertise 0 == unlimited).
+	bufCap    int
+	drainRate float64 // bytes/s consumed by the application
+	buffered  float64
+	lastDrain time.Duration
+
+	// Counters.
+	packets int64
+	bytes   int64
+	// CumAckHighest tracks the highest in-order seq for diagnostics.
+	highestSeq int64
+}
+
+// ReceivedBytes returns the total payload bytes received.
+func (r *Receiver) ReceivedBytes() int64 { return r.bytes }
+
+// ReceivedPackets returns the total data packets received.
+func (r *Receiver) ReceivedPackets() int64 { return r.packets }
+
+func (r *Receiver) drain(now time.Duration) {
+	if r.drainRate <= 0 || r.bufCap == 0 {
+		r.buffered = 0
+		r.lastDrain = now
+		return
+	}
+	el := (now - r.lastDrain).Seconds()
+	if el > 0 {
+		r.buffered -= r.drainRate * el
+		if r.buffered < 0 {
+			r.buffered = 0
+		}
+		r.lastDrain = now
+	}
+}
+
+func (r *Receiver) advertisedWindow() int {
+	if r.bufCap == 0 {
+		return 0 // unlimited
+	}
+	free := r.bufCap - int(r.buffered)
+	if free < 0 {
+		free = 0
+	}
+	return free
+}
+
+// Receive implements sim.Receiver for data packets.
+func (r *Receiver) Receive(p *sim.Packet) {
+	if p.Ack {
+		return
+	}
+	now := r.eng.Now()
+	r.drain(now)
+	r.packets++
+	r.bytes += int64(p.Size)
+	r.buffered += float64(p.Size)
+	if p.Seq > r.highestSeq {
+		r.highestSeq = p.Seq
+	}
+	ack := &sim.Packet{
+		FlowID: p.FlowID,
+		UserID: p.UserID,
+		Seq:    p.Seq,
+		Size:   ackSize,
+		SentAt: now,
+		Ack:    true,
+		RWnd:   r.advertisedWindow(),
+	}
+	if len(r.returnPath) > 0 {
+		ack.Path = r.returnPath
+		ack.Dest = r.sender
+		sim.Inject(ack)
+		return
+	}
+	r.eng.Schedule(r.returnDelay, func() { r.sender.Receive(ack) })
+}

@@ -1,0 +1,495 @@
+package transport
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/tcpinfo"
+)
+
+// Packet-threshold loss detection: a packet is declared lost once this
+// many later packets have been acknowledged (QUIC's kPacketThreshold).
+const lossReorderThreshold = 3
+
+// ackSize is the wire size of an acknowledgment in bytes.
+const ackSize = 40
+
+// minRTO is the lower bound on the retransmission timeout.
+const minRTO = 200 * time.Millisecond
+
+type sentInfo struct {
+	size            int
+	sentAt          time.Duration
+	deliveredAtSend int64
+	retx            bool
+}
+
+type limitState int
+
+const (
+	stBusy limitState = iota
+	stAppLimited
+	stRWndLimited
+)
+
+// Sender is the transmitting endpoint of a Flow. It owns sequencing,
+// pacing, loss detection, and congestion-controller callbacks. Create
+// senders through NewFlow.
+type Sender struct {
+	eng    *sim.Engine
+	flowID int
+	userID int
+	path   []*sim.Link
+	dest   sim.Receiver // the flow's receiver
+	cc     CCA
+	mss    int
+
+	// Application data availability.
+	backlogged bool
+	openLoop   bool  // lost bytes are not retransmitted
+	available  int64 // supplied, unsent bytes
+	retxOwed   int64 // lost bytes awaiting retransmission
+	lostBytes  int64 // bytes abandoned in open-loop mode
+	supplied   int64 // total bytes supplied (for completion detection)
+	// OnComplete, if non-nil, fires once when every supplied byte has
+	// been delivered and the sender is not backlogged.
+	OnComplete func(now time.Duration)
+	completed  bool
+
+	// Outstanding packet state.
+	nextSeq       int64
+	inflight      map[int64]sentInfo
+	order         []int64 // outstanding seqs in send order (lazily compacted)
+	inflightBytes int
+	largestAcked  int64
+	recoveryUntil int64 // seqs below this belong to the current loss epoch
+
+	// RTT estimation.
+	srtt, rttvar, minRTT time.Duration
+	hasRTT               bool
+
+	// Receiver-advertised window (bytes); 0 means unlimited.
+	rwnd int
+
+	// Pacing.
+	nextSendAt time.Duration
+	paceTimer  *sim.Timer
+
+	// RTO.
+	rtoTimer   *sim.Timer
+	rtoBackoff int
+
+	// Limited-time accounting.
+	state       limitState
+	stateSince  time.Duration
+	appLimited  time.Duration
+	rwndLimited time.Duration
+	busyTime    time.Duration
+
+	// Counters.
+	bytesSent    int64
+	bytesAcked   int64
+	bytesRetrans int64
+	lossEvents   int64
+	lostPackets  int64
+	spurious     int64
+	startAt      time.Duration
+
+	// Delivered is a cumulative-bytes-delivered time series, one point
+	// per acknowledgment, used for throughput computation.
+	Delivered stats.Series
+	// RTTs is a time series of RTT samples in seconds.
+	RTTs stats.Series
+	// TraceRTT controls whether per-ack RTT samples are retained.
+	TraceRTT bool
+}
+
+// FlowID returns the flow's identifier.
+func (s *Sender) FlowID() int { return s.flowID }
+
+// CC returns the flow's congestion controller.
+func (s *Sender) CC() CCA { return s.cc }
+
+// Supply makes n more bytes of application data available to send.
+func (s *Sender) Supply(n int64) {
+	if n <= 0 {
+		return
+	}
+	s.available += n
+	s.supplied += n
+	s.trySend()
+}
+
+// SetBacklogged toggles infinite data availability (a persistently
+// backlogged flow, the paper's prerequisite for contention).
+func (s *Sender) SetBacklogged(b bool) {
+	s.backlogged = b
+	if b {
+		s.trySend()
+	}
+}
+
+// Backlogged reports whether the sender is persistently backlogged.
+func (s *Sender) Backlogged() bool { return s.backlogged }
+
+// BytesAcked returns the unique delivered byte count.
+func (s *Sender) BytesAcked() int64 { return s.bytesAcked }
+
+// BytesSent returns all bytes handed to the network.
+func (s *Sender) BytesSent() int64 { return s.bytesSent }
+
+// Inflight returns the outstanding byte count.
+func (s *Sender) Inflight() int { return s.inflightBytes }
+
+// SRTT returns the smoothed RTT estimate (0 before the first sample).
+func (s *Sender) SRTT() time.Duration { return s.srtt }
+
+// MinRTT returns the minimum RTT observed (0 before the first sample).
+func (s *Sender) MinRTT() time.Duration { return s.minRTT }
+
+// LossEvents returns the number of loss epochs detected.
+func (s *Sender) LossEvents() int64 { return s.lossEvents }
+
+// effectiveWnd returns the current send window in bytes.
+func (s *Sender) effectiveWnd() int {
+	w := s.cc.CWnd()
+	if s.rwnd > 0 && s.rwnd < w {
+		w = s.rwnd
+	}
+	if w < s.mss {
+		w = s.mss
+	}
+	return w
+}
+
+// currentState classifies what is limiting the sender right now.
+func (s *Sender) currentState() limitState {
+	hasData := s.backlogged || s.available > 0
+	if !hasData {
+		return stAppLimited
+	}
+	if s.rwnd > 0 && s.rwnd < s.cc.CWnd() && s.inflightBytes+s.mss > s.rwnd {
+		return stRWndLimited
+	}
+	return stBusy
+}
+
+// touchState accrues elapsed time to the previous limit state and
+// switches to the current one.
+func (s *Sender) touchState() {
+	now := s.eng.Now()
+	el := now - s.stateSince
+	if el > 0 {
+		switch s.state {
+		case stAppLimited:
+			s.appLimited += el
+		case stRWndLimited:
+			s.rwndLimited += el
+		default:
+			s.busyTime += el
+		}
+	}
+	s.stateSince = now
+	s.state = s.currentState()
+}
+
+// trySend transmits as many packets as the window, pacing gate, and
+// application data allow.
+func (s *Sender) trySend() {
+	if s.completed {
+		return
+	}
+	now := s.eng.Now()
+	s.touchState()
+	for {
+		hasData := s.backlogged || s.available > 0
+		if !hasData {
+			return
+		}
+		size := s.mss
+		if !s.backlogged && s.available < int64(size) {
+			size = int(s.available)
+		}
+		if s.inflightBytes+size > s.effectiveWnd() {
+			return
+		}
+		rate := s.cc.PacingRate()
+		if rate > 0 {
+			if now < s.nextSendAt {
+				if s.paceTimer != nil {
+					s.paceTimer.Cancel()
+				}
+				s.paceTimer = s.eng.ScheduleAt(s.nextSendAt, s.trySend)
+				return
+			}
+			gap := time.Duration(float64(size*8) / rate * float64(time.Second))
+			if s.nextSendAt < now {
+				s.nextSendAt = now
+			}
+			s.nextSendAt += gap
+		}
+		retx := s.retxOwed > 0
+		if retx {
+			s.retxOwed -= int64(size)
+			if s.retxOwed < 0 {
+				s.retxOwed = 0
+			}
+		}
+		s.sendPacket(size, retx)
+		s.touchState()
+	}
+}
+
+func (s *Sender) sendPacket(size int, retx bool) {
+	now := s.eng.Now()
+	seq := s.nextSeq
+	s.nextSeq++
+	p := &sim.Packet{
+		FlowID: s.flowID,
+		UserID: s.userID,
+		Seq:    seq,
+		Size:   size,
+		SentAt: now,
+		Retx:   retx,
+		Path:   s.path,
+		Dest:   s.dest,
+	}
+	s.inflight[seq] = sentInfo{size: size, sentAt: now, deliveredAtSend: s.bytesAcked, retx: retx}
+	s.order = append(s.order, seq)
+	s.inflightBytes += size
+	if !s.backlogged {
+		s.available -= int64(size)
+	}
+	s.bytesSent += int64(size)
+	if retx {
+		s.bytesRetrans += int64(size)
+	}
+	if ob, ok := s.cc.(SendObserver); ok {
+		ob.OnSend(now, size, s.inflightBytes)
+	}
+	s.armRTO()
+	sim.Inject(p)
+}
+
+// Receive implements sim.Receiver for acknowledgment packets returning
+// to the sender.
+func (s *Sender) Receive(p *sim.Packet) {
+	if !p.Ack {
+		return
+	}
+	s.onAck(p)
+}
+
+func (s *Sender) onAck(p *sim.Packet) {
+	now := s.eng.Now()
+	s.rwnd = p.RWnd
+	info, outstanding := s.inflight[p.Seq]
+	if !outstanding {
+		// Already declared lost (spurious retransmission) or duplicate.
+		s.spurious++
+		return
+	}
+	delete(s.inflight, p.Seq)
+	s.inflightBytes -= info.size
+	s.bytesAcked += int64(info.size)
+	if p.Seq > s.largestAcked {
+		s.largestAcked = p.Seq
+	}
+
+	// RTT sample.
+	rtt := now - info.sentAt
+	s.updateRTT(rtt)
+	if s.TraceRTT {
+		s.RTTs.Append(now, rtt.Seconds())
+	}
+	s.Delivered.Append(now, float64(s.bytesAcked))
+
+	// Delivery rate sample (BBR-style).
+	var rateBps float64
+	if dt := now - info.sentAt; dt > 0 {
+		rateBps = float64(s.bytesAcked-info.deliveredAtSend) * 8 / dt.Seconds()
+	}
+
+	s.detectLosses()
+	s.touchState()
+
+	s.cc.OnAck(AckInfo{
+		Now:          now,
+		AckedBytes:   info.size,
+		RTT:          rtt,
+		SRTT:         s.srtt,
+		MinRTT:       s.minRTT,
+		Inflight:     s.inflightBytes,
+		DeliveryRate: rateBps,
+		CumDelivered: s.bytesAcked,
+		RWnd:         s.rwnd,
+	})
+
+	s.rtoBackoff = 0
+	s.armRTO()
+	s.maybeComplete(now)
+	s.trySend()
+}
+
+func (s *Sender) maybeComplete(now time.Duration) {
+	if s.completed || s.backlogged || s.OnComplete == nil {
+		return
+	}
+	if s.available == 0 && s.inflightBytes == 0 && s.bytesAcked+s.lostBytes >= s.supplied {
+		s.completed = true
+		if s.rtoTimer != nil {
+			s.rtoTimer.Cancel()
+		}
+		s.touchState()
+		s.OnComplete(now)
+	}
+}
+
+func (s *Sender) updateRTT(rtt time.Duration) {
+	if rtt <= 0 {
+		rtt = time.Microsecond
+	}
+	if !s.hasRTT {
+		s.srtt = rtt
+		s.rttvar = rtt / 2
+		s.minRTT = rtt
+		s.hasRTT = true
+		return
+	}
+	if rtt < s.minRTT {
+		s.minRTT = rtt
+	}
+	d := s.srtt - rtt
+	if d < 0 {
+		d = -d
+	}
+	s.rttvar = (3*s.rttvar + d) / 4
+	s.srtt = (7*s.srtt + rtt) / 8
+}
+
+// detectLosses declares outstanding packets lost once
+// lossReorderThreshold later packets have been acknowledged.
+func (s *Sender) detectLosses() {
+	cut := s.largestAcked - lossReorderThreshold
+	i := 0
+	for i < len(s.order) {
+		seq := s.order[i]
+		info, ok := s.inflight[seq]
+		if !ok {
+			i++ // already acked or lost; compacted below
+			continue
+		}
+		if seq >= cut {
+			break
+		}
+		s.declareLost(seq, info)
+		i++
+	}
+	// Compact the prefix of no-longer-outstanding seqs.
+	j := 0
+	for j < len(s.order) {
+		if _, ok := s.inflight[s.order[j]]; ok {
+			break
+		}
+		j++
+	}
+	if j > 0 {
+		s.order = append(s.order[:0], s.order[j:]...)
+	}
+}
+
+func (s *Sender) declareLost(seq int64, info sentInfo) {
+	delete(s.inflight, seq)
+	s.inflightBytes -= info.size
+	s.lostPackets++
+	if s.openLoop {
+		s.lostBytes += int64(info.size)
+	} else {
+		// The lost bytes must be retransmitted: put them back on the
+		// application queue ahead of new data. With packet-number
+		// sequencing the retransmission is just a fresh packet.
+		s.retxOwed += int64(info.size)
+		if !s.backlogged {
+			s.available += int64(info.size)
+		}
+	}
+	if seq >= s.recoveryUntil {
+		s.recoveryUntil = s.nextSeq
+		s.lossEvents++
+		s.cc.OnLoss(LossInfo{Now: s.eng.Now(), Inflight: s.inflightBytes, LostBytes: info.size})
+	}
+}
+
+func (s *Sender) rto() time.Duration {
+	if !s.hasRTT {
+		return time.Second
+	}
+	r := s.srtt + 4*s.rttvar
+	if r < minRTO {
+		r = minRTO
+	}
+	for i := 0; i < s.rtoBackoff && i < 6; i++ {
+		r *= 2
+	}
+	return r
+}
+
+func (s *Sender) armRTO() {
+	if s.rtoTimer != nil {
+		s.rtoTimer.Cancel()
+		s.rtoTimer = nil
+	}
+	if len(s.inflight) == 0 {
+		return
+	}
+	s.rtoTimer = s.eng.Schedule(s.rto(), s.onRTO)
+}
+
+func (s *Sender) onRTO() {
+	if len(s.inflight) == 0 {
+		return
+	}
+	now := s.eng.Now()
+	// Declare everything outstanding lost.
+	for _, info := range s.inflight {
+		s.lostPackets++
+		if s.openLoop {
+			s.lostBytes += int64(info.size)
+			continue
+		}
+		s.retxOwed += int64(info.size)
+		if !s.backlogged {
+			s.available += int64(info.size)
+		}
+	}
+	s.inflight = make(map[int64]sentInfo)
+	s.order = s.order[:0]
+	s.inflightBytes = 0
+	s.recoveryUntil = s.nextSeq
+	s.rtoBackoff++
+	s.lossEvents++
+	s.cc.OnTimeout(now)
+	s.touchState()
+	s.trySend()
+	s.armRTO()
+}
+
+// Snapshot returns a TCP_INFO-style view of the sender. ThroughputBps
+// is left zero; periodic samplers fill it from deltas.
+func (s *Sender) Snapshot() tcpinfo.Snapshot {
+	s.touchState()
+	return tcpinfo.Snapshot{
+		At:           s.eng.Now() - s.startAt,
+		BytesSent:    s.bytesSent,
+		BytesAcked:   s.bytesAcked,
+		BytesRetrans: s.bytesRetrans,
+		SRTT:         s.srtt,
+		MinRTT:       s.minRTT,
+		CWnd:         s.cc.CWnd(),
+		LostPackets:  s.lostPackets,
+		AppLimited:   s.appLimited,
+		RWndLimited:  s.rwndLimited,
+		BusyTime:     s.busyTime,
+	}
+}

@@ -1,0 +1,307 @@
+package transport_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/qdisc"
+	"repro/internal/sim"
+	"repro/internal/transport"
+)
+
+// dumbbell wires one flow over a fresh engine + link.
+func dumbbell(rate float64, owd time.Duration, q sim.Qdisc) (*sim.Engine, *sim.Link) {
+	eng := &sim.Engine{}
+	if q == nil {
+		q = qdisc.NewDropTailBDP(rate, 2*owd, 1)
+	}
+	return eng, sim.NewLink(eng, "l", rate, owd, q)
+}
+
+func TestShortFlowCompletes(t *testing.T) {
+	eng, link := dumbbell(10e6, 10*time.Millisecond, nil)
+	var completedAt time.Duration
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewRenoCC(),
+	})
+	f.Sender.OnComplete = func(now time.Duration) { completedAt = now }
+	f.Sender.Supply(10 * 1500) // 10 packets: fits the initial window
+	eng.Run(5 * time.Second)
+
+	if completedAt == 0 {
+		t.Fatal("flow did not complete")
+	}
+	// 10 packets of 1500B at 10 Mbit/s: 1.2ms each serialized,
+	// completing within ~2 RTTs.
+	if completedAt > 100*time.Millisecond {
+		t.Errorf("completed at %v, expected within ~2 RTT", completedAt)
+	}
+	if f.Sender.BytesAcked() != 10*1500 {
+		t.Errorf("acked %d bytes", f.Sender.BytesAcked())
+	}
+}
+
+func TestPartialFinalSegment(t *testing.T) {
+	eng, link := dumbbell(10e6, 5*time.Millisecond, nil)
+	done := false
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 5 * time.Millisecond,
+		CC: cca.NewRenoCC(),
+	})
+	f.Sender.OnComplete = func(time.Duration) { done = true }
+	f.Sender.Supply(1500 + 700) // one full + one partial segment
+	eng.Run(time.Second)
+	if !done {
+		t.Fatal("flow did not complete")
+	}
+	if got := f.Sender.BytesAcked(); got != 2200 {
+		t.Errorf("acked %d, want 2200", got)
+	}
+}
+
+func TestAppLimitedAccounting(t *testing.T) {
+	eng, link := dumbbell(10e6, 10*time.Millisecond, nil)
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewRenoCC(),
+	})
+	// Supply a small chunk, then go idle for a long time.
+	f.Sender.Supply(3000)
+	eng.Run(10 * time.Second)
+	snap := f.Sender.Snapshot()
+	if snap.AppLimited < 9*time.Second {
+		t.Errorf("AppLimited = %v, want ~10s of idle", snap.AppLimited)
+	}
+	if snap.AppLimitedFraction() < 0.9 {
+		t.Errorf("fraction = %v", snap.AppLimitedFraction())
+	}
+}
+
+func TestBackloggedIsNeverAppLimited(t *testing.T) {
+	eng, link := dumbbell(10e6, 10*time.Millisecond, nil)
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewRenoCC(), Backlogged: true,
+	})
+	f.Start()
+	eng.Run(5 * time.Second)
+	snap := f.Sender.Snapshot()
+	if snap.AppLimited != 0 {
+		t.Errorf("AppLimited = %v, want 0 for a backlogged flow", snap.AppLimited)
+	}
+	if snap.BusyTime < 4*time.Second {
+		t.Errorf("BusyTime = %v", snap.BusyTime)
+	}
+}
+
+func TestRWndLimitedFlow(t *testing.T) {
+	eng, link := dumbbell(100e6, 10*time.Millisecond, nil)
+	// Receiver buffer of 8 packets, drained slowly: the sender should
+	// be receiver-limited, throughput bounded by drain rate.
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewCubicCC(), Backlogged: true,
+		RecvBuffer: 8 * 1500, DrainRate: 500e3, // 4 Mbit/s consumer
+	})
+	f.Start()
+	eng.Run(10 * time.Second)
+	snap := f.Sender.Snapshot()
+	tput := f.Throughput(2*time.Second, 10*time.Second)
+	if tput > 8e6 {
+		t.Errorf("throughput %v should be bounded near the 4 Mbit/s drain", tput)
+	}
+	if snap.RWndLimited < 2*time.Second {
+		t.Errorf("RWndLimited = %v, want substantial", snap.RWndLimited)
+	}
+	if snap.AppLimited > time.Second {
+		t.Errorf("AppLimited = %v for a backlogged flow", snap.AppLimited)
+	}
+}
+
+func TestRetransmissionDeliversEverything(t *testing.T) {
+	// Tiny buffer forces drops; the flow must still deliver every byte.
+	eng, link := dumbbell(10e6, 10*time.Millisecond, qdisc.NewDropTail(4*1500))
+	done := false
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewRenoCC(),
+	})
+	f.Sender.OnComplete = func(time.Duration) { done = true }
+	const total = 2 << 20 // 2 MiB
+	f.Sender.Supply(total)
+	eng.Run(60 * time.Second)
+	if !done {
+		t.Fatalf("flow incomplete: acked %d of %d, inflight %d",
+			f.Sender.BytesAcked(), total, f.Sender.Inflight())
+	}
+	if f.Sender.BytesAcked() != total {
+		t.Errorf("acked %d, want %d", f.Sender.BytesAcked(), total)
+	}
+	if f.Sender.LossEvents() == 0 {
+		t.Error("expected losses on the tiny buffer")
+	}
+	snap := f.Sender.Snapshot()
+	if snap.BytesRetrans == 0 {
+		t.Error("expected retransmissions")
+	}
+	if snap.BytesSent < snap.BytesAcked {
+		t.Error("sent must be >= acked")
+	}
+}
+
+func TestRTTEstimation(t *testing.T) {
+	eng, link := dumbbell(100e6, 25*time.Millisecond, nil)
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 25 * time.Millisecond,
+		CC: cca.NewRenoCC(),
+	})
+	f.Sender.Supply(15000)
+	eng.Run(time.Second)
+	// Base RTT = 50ms + serialization (~0.12ms per packet at 100 Mbit/s).
+	min := f.Sender.MinRTT()
+	if min < 50*time.Millisecond || min > 55*time.Millisecond {
+		t.Errorf("MinRTT = %v, want ~50ms", min)
+	}
+	if f.Sender.SRTT() < min {
+		t.Errorf("SRTT %v < MinRTT %v", f.Sender.SRTT(), min)
+	}
+}
+
+func TestPacedCBRRate(t *testing.T) {
+	eng, link := dumbbell(100e6, 5*time.Millisecond, nil)
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 5 * time.Millisecond,
+		CC: cca.NewCBR(10e6), Backlogged: true,
+	})
+	f.Start()
+	eng.Run(10 * time.Second)
+	got := f.Throughput(time.Second, 10*time.Second)
+	if got < 9.5e6 || got > 10.5e6 {
+		t.Errorf("CBR throughput = %.2f Mbit/s, want ~10", got/1e6)
+	}
+}
+
+func TestRTOFiresOnTotalLoss(t *testing.T) {
+	// A link whose queue rejects everything after the first packets:
+	// the RTO must fire and eventually deliver via retransmission once
+	// the blackhole lifts.
+	eng := &sim.Engine{}
+	q := &gateQueue{inner: qdisc.NewDropTail(1 << 20)}
+	link := sim.NewLink(eng, "l", 10e6, 10*time.Millisecond, q)
+	done := false
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewRenoCC(),
+	})
+	f.Sender.OnComplete = func(time.Duration) { done = true }
+	q.blocked = true
+	f.Sender.Supply(3000)
+	// Unblock after 2 seconds.
+	eng.Schedule(2*time.Second, func() { q.blocked = false })
+	eng.Run(30 * time.Second)
+	if !done {
+		t.Fatal("flow never recovered from blackhole")
+	}
+	if f.Sender.LossEvents() == 0 {
+		t.Error("expected RTO loss events")
+	}
+}
+
+// gateQueue drops everything while blocked.
+type gateQueue struct {
+	inner   *qdisc.DropTail
+	blocked bool
+}
+
+func (g *gateQueue) Enqueue(p *sim.Packet, now time.Duration) bool {
+	if g.blocked {
+		return false
+	}
+	return g.inner.Enqueue(p, now)
+}
+func (g *gateQueue) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	return g.inner.Dequeue(now)
+}
+func (g *gateQueue) Len() int   { return g.inner.Len() }
+func (g *gateQueue) Bytes() int { return g.inner.Bytes() }
+
+func TestSamplerSnapshots(t *testing.T) {
+	eng, link := dumbbell(10e6, 10*time.Millisecond, nil)
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 10 * time.Millisecond,
+		CC: cca.NewRenoCC(), Backlogged: true,
+	})
+	f.Start()
+	sm := transport.NewSampler(eng, f, 100*time.Millisecond)
+	eng.Run(3 * time.Second)
+	sm.Stop()
+	eng.Run(4 * time.Second)
+
+	if n := len(sm.Snapshots); n < 28 || n > 31 {
+		t.Fatalf("snapshots = %d, want ~30", n)
+	}
+	// Monotonic cumulative fields; plausible throughput once warmed.
+	for i := 1; i < len(sm.Snapshots); i++ {
+		if sm.Snapshots[i].BytesAcked < sm.Snapshots[i-1].BytesAcked {
+			t.Fatal("BytesAcked must be monotone")
+		}
+	}
+	last := sm.Snapshots[len(sm.Snapshots)-1]
+	if last.ThroughputBps < 5e6 || last.ThroughputBps > 11e6 {
+		t.Errorf("snapshot throughput = %.2f Mbit/s", last.ThroughputBps/1e6)
+	}
+}
+
+func TestTwoRenoFlowsShareFairly(t *testing.T) {
+	eng, link := dumbbell(20e6, 20*time.Millisecond, nil)
+	var flows []*transport.Flow
+	for i := 1; i <= 2; i++ {
+		f := transport.NewFlow(eng, transport.FlowConfig{
+			ID: i, Path: []*sim.Link{link}, ReturnDelay: 20 * time.Millisecond,
+			CC: cca.NewRenoCC(), Backlogged: true,
+		})
+		f.Start()
+		flows = append(flows, f)
+	}
+	eng.Run(60 * time.Second)
+	t1 := flows[0].Throughput(20*time.Second, 60*time.Second)
+	t2 := flows[1].Throughput(20*time.Second, 60*time.Second)
+	sum := t1 + t2
+	if sum < 17e6 {
+		t.Errorf("utilization too low: %.2f Mbit/s", sum/1e6)
+	}
+	share := t1 / sum
+	if share < 0.35 || share > 0.65 {
+		t.Errorf("reno/reno share = %.3f, want near 0.5", share)
+	}
+}
+
+func TestOnCompleteCancelsRTO(t *testing.T) {
+	eng, link := dumbbell(10e6, 5*time.Millisecond, nil)
+	f := transport.NewFlow(eng, transport.FlowConfig{
+		ID: 1, Path: []*sim.Link{link}, ReturnDelay: 5 * time.Millisecond,
+		CC: cca.NewRenoCC(),
+	})
+	completions := 0
+	f.Sender.OnComplete = func(time.Duration) { completions++ }
+	f.Sender.Supply(1500)
+	eng.Run(10 * time.Second)
+	if completions != 1 {
+		t.Errorf("completions = %d, want exactly 1", completions)
+	}
+	if f.Sender.LossEvents() != 0 {
+		t.Errorf("spurious loss events after completion: %d", f.Sender.LossEvents())
+	}
+}
+
+func TestNilCCPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for nil CC")
+		}
+	}()
+	eng := &sim.Engine{}
+	transport.NewFlow(eng, transport.FlowConfig{ID: 1})
+}
