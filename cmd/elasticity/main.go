@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -25,6 +26,9 @@ func main() {
 	series := flag.Bool("series", false, "also print the elasticity time series")
 	pulse := flag.Float64("pulse", 0, "pulse frequency in Hz (0 = RTT-matched default)")
 	seed := flag.Int64("seed", 1, "workload random seed")
+	faultProfile := flag.String("faults", "",
+		"impair the bottleneck with a named fault profile ("+strings.Join(faults.Names(), ", ")+")")
+	faultSeed := flag.Int64("fault-seed", 1, "fault injector random seed")
 	flag.Parse()
 
 	cfg := core.Fig3Config{
@@ -33,6 +37,8 @@ func main() {
 		PhaseDuration: *phase,
 		Phases:        strings.Split(*phases, ","),
 		Seed:          *seed,
+		FaultProfile:  *faultProfile,
+		FaultSeed:     *faultSeed,
 	}
 	cfg.Nimbus.PulseFreq = *pulse
 	res, err := core.RunFig3(cfg)

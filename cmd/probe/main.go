@@ -27,18 +27,26 @@ func main() {
 	pulse := flag.Float64("pulse", 5, "pulse frequency in Hz")
 	size := flag.Int("size", 1200, "probe packet size in bytes")
 	series := flag.Bool("series", false, "print the elasticity time series")
+	hsRetries := flag.Int("handshake-retries", 5, "handshake attempts before giving up")
+	hsTimeout := flag.Duration("handshake-timeout", 250*time.Millisecond,
+		"first handshake reply deadline (doubles per retry)")
+	stall := flag.Duration("stall-timeout", 3*time.Second,
+		"abort the run when no ack arrives for this long")
 	flag.Parse()
 
 	c := probe.NewClient(probe.ClientConfig{
-		Server:     *server,
-		Duration:   *duration,
-		PacketSize: *size,
-		MaxRateBps: *maxRate,
-		Nimbus:     nimbus.Config{Mu: *mu, PulseFreq: *pulse},
+		Server:            *server,
+		Duration:          *duration,
+		PacketSize:        *size,
+		MaxRateBps:        *maxRate,
+		Nimbus:            nimbus.Config{Mu: *mu, PulseFreq: *pulse},
+		HandshakeAttempts: *hsRetries,
+		HandshakeTimeout:  *hsTimeout,
+		StallTimeout:      *stall,
 	})
 	rep, err := c.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "probe:", err)
+		fmt.Fprintln(os.Stderr, err) // client errors carry the "probe:" prefix
 		os.Exit(1)
 	}
 	fmt.Printf("session        %d\n", rep.Session)
@@ -46,9 +54,18 @@ func main() {
 	fmt.Printf("rtt min/mean   %v / %v\n", rep.MinRTT, rep.MeanRTT)
 	fmt.Printf("throughput     %.2f Mbit/s\n", rep.ThroughputBps/1e6)
 	fmt.Printf("cross traffic  %.2f Mbit/s (estimated)\n", rep.CrossRateBps/1e6)
-	fmt.Printf("mean eta       %.3f\n", rep.MeanEta)
-	fmt.Printf("verdict        elastic=%v (CCA contention %s)\n", rep.Elastic,
-		map[bool]string{true: "detected", false: "not detected"}[rep.Elastic])
+	fmt.Printf("mean eta       %.3f (%d windows)\n", rep.MeanEta, rep.Windows)
+	if rep.Truncated {
+		fmt.Printf("truncated      after %v: %s\n", rep.Elapsed.Round(time.Millisecond), rep.TruncatedReason)
+	}
+	fmt.Printf("confidence     %.2f\n", rep.Confidence)
+	switch v := rep.Verdict(); v {
+	case "inconclusive":
+		fmt.Printf("verdict        inconclusive (low confidence; rerun or extend -duration)\n")
+	default:
+		fmt.Printf("verdict        %s (CCA contention %s)\n", v,
+			map[bool]string{true: "detected", false: "not detected"}[rep.Elastic])
+	}
 	if *series {
 		fmt.Println("# time_s eta")
 		for _, s := range rep.Eta {

@@ -13,6 +13,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"time"
 
 	"repro/internal/probe"
 )
@@ -20,9 +21,16 @@ import (
 func main() {
 	addr := flag.String("addr", ":4460", "UDP listen address")
 	verbose := flag.Bool("v", false, "log sessions")
+	maxSessions := flag.Int("max-sessions", 1024, "concurrent session cap")
+	sessionTTL := flag.Duration("session-ttl", 2*time.Minute,
+		"evict sessions idle for this long")
 	flag.Parse()
 
-	cfg := probe.ServerConfig{Addr: *addr}
+	cfg := probe.ServerConfig{
+		Addr:        *addr,
+		MaxSessions: *maxSessions,
+		SessionTTL:  *sessionTTL,
+	}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}

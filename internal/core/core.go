@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/qdisc"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -45,6 +46,11 @@ type LinkSpec struct {
 	// ShapeRateBps is the shaper/policer/per-user rate where
 	// applicable (default RateBps/2).
 	ShapeRateBps float64
+	// Faults, when non-nil, wraps the discipline in the profile's
+	// impairment chain (loss, reordering, jitter, outages), seeded by
+	// FaultSeed for reproducible runs.
+	Faults    *faults.Profile
+	FaultSeed int64
 }
 
 func (s LinkSpec) norm() LinkSpec {
@@ -63,8 +69,17 @@ func (s LinkSpec) norm() LinkSpec {
 // RTT returns the base round-trip time of the link.
 func (s LinkSpec) RTT() time.Duration { return 2 * s.OneWayDelay }
 
-// BuildQdisc constructs the discipline for the spec.
+// BuildQdisc constructs the discipline for the spec, wrapped in the
+// spec's fault profile when one is set.
 func BuildQdisc(s LinkSpec) sim.Qdisc {
+	q := buildDiscipline(s)
+	if s.Faults != nil {
+		q = s.Faults.Wrap(q, s.FaultSeed)
+	}
+	return q
+}
+
+func buildDiscipline(s LinkSpec) sim.Qdisc {
 	s = s.norm()
 	rtt := s.RTT()
 	bufBytes := int(s.RateBps / 8 * rtt.Seconds() * s.BufferBDP)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/cca"
+	"repro/internal/faults"
 	"repro/internal/nimbus"
 	"repro/internal/stats"
 	"repro/internal/traffic"
@@ -35,6 +36,12 @@ type Fig3Config struct {
 	Seed int64
 	// BufferBDP sizes the droptail buffer (default 1).
 	BufferBDP float64
+	// FaultProfile, when non-empty, names a faults.Profile to impose on
+	// the bottleneck (see faults.Names): the probe is measured through
+	// an impaired link rather than a clean one. FaultSeed drives the
+	// injectors.
+	FaultProfile string
+	FaultSeed    int64
 }
 
 func (c Fig3Config) norm() Fig3Config {
@@ -110,6 +117,14 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		OneWayDelay: cfg.OneWayDelay,
 		Queue:       QueueDropTail,
 		BufferBDP:   cfg.BufferBDP,
+		FaultSeed:   cfg.FaultSeed,
+	}
+	if cfg.FaultProfile != "" {
+		p, err := faults.Lookup(cfg.FaultProfile)
+		if err != nil {
+			return nil, fmt.Errorf("core: fig3: %w", err)
+		}
+		spec.Faults = &p
 	}
 	d := NewDumbbell(spec)
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
@@ -133,13 +148,15 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		pb := phaseBounds{name: name, start: start, end: end}
 		switch name {
 		case "reno", "bbr", "cubic", "newreno", "copa", "vegas":
-			ccName := name
+			// Construct the controller now, while errors can still be
+			// returned: by the time the scheduled closure runs, the only
+			// way out would be a panic mid-simulation.
+			cc, err := cca.New(name)
+			if err != nil {
+				return nil, fmt.Errorf("core: fig3 phase %q: %w", name, err)
+			}
 			var f *transport.Flow
 			d.Eng.ScheduleAt(start, func() {
-				cc, err := cca.New(ccName)
-				if err != nil {
-					panic(err) // names validated below
-				}
 				f = transport.NewFlow(d.Eng, transport.FlowConfig{
 					ID: 100 + i, UserID: 1,
 					Path:        d.FlowConfig(0, 0, nil).Path,

@@ -1,0 +1,190 @@
+// Package faults is the emulator's composable, deterministic
+// fault-injection layer: sim.Qdisc wrappers that impose pathological
+// network conditions — i.i.d. and Gilbert–Elliott burst loss, packet
+// duplication, reordering, delay jitter, and link outages ("flaps") —
+// on whatever queue they wrap, plus bandwidth-oscillation rate
+// functions for sim.DriveRate and named impairment Profiles that
+// compose injectors into realistic scenarios ("wifi-bursty",
+// "flaky-cellular", ...).
+//
+// Every injector draws randomness exclusively from its own seeded
+// source, so a scenario replays byte-for-byte under a fixed seed no
+// matter what else shares the engine. All wrappers implement sim.Qdisc
+// and stack in any order; Profile.Build composes them in the canonical
+// order (loss processes outermost, delay stages nearest the inner
+// queue).
+//
+// Wrappers honour the sim.Qdisc contract: they never return a nil
+// packet with a zero ready time while holding data, so a link driving
+// a wrapped queue cannot stall.
+package faults
+
+import (
+	"math/rand"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Loss drops a seeded pseudo-random fraction of packets at enqueue,
+// modelling non-congestive (corruption) loss, distinct from the drops
+// the inner queue performs when full.
+type Loss struct {
+	inner sim.Qdisc
+	rng   *rand.Rand
+	p     float64
+	// Dropped counts packets the injector discarded.
+	Dropped int64
+}
+
+// NewLoss wraps inner with i.i.d. loss probability p in [0, 1].
+func NewLoss(inner sim.Qdisc, p float64, seed int64) *Loss {
+	return &Loss{inner: inner, rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// Enqueue implements sim.Qdisc.
+func (l *Loss) Enqueue(p *sim.Packet, now time.Duration) bool {
+	if l.rng.Float64() < l.p {
+		l.Dropped++
+		return false
+	}
+	return l.inner.Enqueue(p, now)
+}
+
+// Dequeue implements sim.Qdisc.
+func (l *Loss) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	return l.inner.Dequeue(now)
+}
+
+// Len implements sim.Qdisc.
+func (l *Loss) Len() int { return l.inner.Len() }
+
+// Bytes implements sim.Qdisc.
+func (l *Loss) Bytes() int { return l.inner.Bytes() }
+
+// GEConfig parameterizes the two-state Gilbert–Elliott burst-loss
+// model: per-packet transition probabilities between a Good and a Bad
+// state, with an independent loss probability in each state.
+type GEConfig struct {
+	// PGoodBad is the per-packet probability of entering the bad state.
+	PGoodBad float64
+	// PBadGood is the per-packet probability of recovering; its inverse
+	// is the mean burst length in packets (default 0.25 → 4 packets).
+	PBadGood float64
+	// LossGood is the residual loss probability in the good state.
+	LossGood float64
+	// LossBad is the loss probability inside a burst (default 0.5).
+	LossBad float64
+}
+
+func (c GEConfig) norm() GEConfig {
+	if c.PBadGood <= 0 {
+		c.PBadGood = 0.25
+	}
+	if c.LossBad <= 0 {
+		c.LossBad = 0.5
+	}
+	return c
+}
+
+// MeanLossRate returns the model's stationary loss rate.
+func (c GEConfig) MeanLossRate() float64 {
+	c = c.norm()
+	denom := c.PGoodBad + c.PBadGood
+	if denom <= 0 {
+		return c.LossGood
+	}
+	pBad := c.PGoodBad / denom
+	return (1-pBad)*c.LossGood + pBad*c.LossBad
+}
+
+// GilbertElliott drops packets according to a seeded Gilbert–Elliott
+// process, producing the bursty loss patterns of wireless links.
+type GilbertElliott struct {
+	inner sim.Qdisc
+	rng   *rand.Rand
+	cfg   GEConfig
+	bad   bool
+	// Dropped counts packets the injector discarded.
+	Dropped int64
+	// Bursts counts Good→Bad transitions.
+	Bursts int64
+}
+
+// NewGilbertElliott wraps inner with the burst-loss process.
+func NewGilbertElliott(inner sim.Qdisc, cfg GEConfig, seed int64) *GilbertElliott {
+	return &GilbertElliott{inner: inner, rng: rand.New(rand.NewSource(seed)), cfg: cfg.norm()}
+}
+
+// Enqueue implements sim.Qdisc, advancing the channel state one step
+// per packet.
+func (g *GilbertElliott) Enqueue(p *sim.Packet, now time.Duration) bool {
+	if g.bad {
+		if g.rng.Float64() < g.cfg.PBadGood {
+			g.bad = false
+		}
+	} else if g.rng.Float64() < g.cfg.PGoodBad {
+		g.bad = true
+		g.Bursts++
+	}
+	lossP := g.cfg.LossGood
+	if g.bad {
+		lossP = g.cfg.LossBad
+	}
+	if g.rng.Float64() < lossP {
+		g.Dropped++
+		return false
+	}
+	return g.inner.Enqueue(p, now)
+}
+
+// Dequeue implements sim.Qdisc.
+func (g *GilbertElliott) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	return g.inner.Dequeue(now)
+}
+
+// Len implements sim.Qdisc.
+func (g *GilbertElliott) Len() int { return g.inner.Len() }
+
+// Bytes implements sim.Qdisc.
+func (g *GilbertElliott) Bytes() int { return g.inner.Bytes() }
+
+// Duplicator enqueues a copy of a seeded pseudo-random fraction of
+// packets, modelling link-layer retransmission artifacts. The copy is
+// an independent packet (its own hop state), so both traverse the rest
+// of the path; receivers see the duplicate sequence number.
+type Duplicator struct {
+	inner sim.Qdisc
+	rng   *rand.Rand
+	p     float64
+	// Duplicated counts extra copies successfully enqueued.
+	Duplicated int64
+}
+
+// NewDuplicator wraps inner with duplication probability p.
+func NewDuplicator(inner sim.Qdisc, p float64, seed int64) *Duplicator {
+	return &Duplicator{inner: inner, rng: rand.New(rand.NewSource(seed)), p: p}
+}
+
+// Enqueue implements sim.Qdisc.
+func (d *Duplicator) Enqueue(p *sim.Packet, now time.Duration) bool {
+	ok := d.inner.Enqueue(p, now)
+	if ok && d.rng.Float64() < d.p {
+		cp := *p
+		if d.inner.Enqueue(&cp, now) {
+			d.Duplicated++
+		}
+	}
+	return ok
+}
+
+// Dequeue implements sim.Qdisc.
+func (d *Duplicator) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
+	return d.inner.Dequeue(now)
+}
+
+// Len implements sim.Qdisc.
+func (d *Duplicator) Len() int { return d.inner.Len() }
+
+// Bytes implements sim.Qdisc.
+func (d *Duplicator) Bytes() int { return d.inner.Bytes() }

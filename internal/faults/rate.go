@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"math"
+	"time"
+)
+
+// Rate functions for sim.DriveRate: deterministic bandwidth
+// oscillation, the capacity-side counterpart of the queue-side
+// injectors. Both floor the returned rate at 1 kbit/s, matching
+// DriveRate's own guard.
+
+// OscillateSquare returns a rate function alternating between
+// highFrac*base (first half of each period) and lowFrac*base.
+func OscillateSquare(base, lowFrac, highFrac float64, period time.Duration) func(time.Duration) float64 {
+	if period <= 0 {
+		period = time.Second
+	}
+	return func(t time.Duration) float64 {
+		frac := highFrac
+		if t%period >= period/2 {
+			frac = lowFrac
+		}
+		return floorRate(base * frac)
+	}
+}
+
+// OscillateSine returns a rate function following
+// base * (1 + ampFrac*sin(2*pi*t/period)).
+func OscillateSine(base, ampFrac float64, period time.Duration) func(time.Duration) float64 {
+	if period <= 0 {
+		period = time.Second
+	}
+	return func(t time.Duration) float64 {
+		phase := 2 * math.Pi * float64(t) / float64(period)
+		return floorRate(base * (1 + ampFrac*math.Sin(phase)))
+	}
+}
+
+func floorRate(r float64) float64 {
+	if r < 1e3 {
+		return 1e3
+	}
+	return r
+}

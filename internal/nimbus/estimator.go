@@ -188,19 +188,34 @@ func NewEstimator(cfg Config) *Estimator {
 // Config returns the normalized configuration.
 func (e *Estimator) Config() Config { return e.cfg }
 
+// finite reports whether x is a usable sample (neither NaN nor Inf).
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }
+
 // RecordSend accounts bytes handed to the network at time now.
+// Negative byte counts (a confused caller) are ignored rather than
+// allowed to corrupt the rate accumulators.
 func (e *Estimator) RecordSend(now time.Duration, bytes int) {
+	if bytes < 0 {
+		return
+	}
 	e.ensureStarted(now)
 	e.sentBytes += int64(bytes)
 	e.maybeTick(now)
 }
 
 // RecordAck accounts bytes acknowledged at time now with the given RTT
-// sample and smoothed estimates.
+// sample and smoothed estimates. Negative bytes and non-positive RTT
+// estimates are dropped at the door: garbage timing must not reach the
+// queue-delay samples feeding the FFT.
 func (e *Estimator) RecordAck(now time.Duration, bytes int, rtt, srtt, minRTT time.Duration) {
+	if bytes < 0 {
+		return
+	}
 	e.ensureStarted(now)
 	e.ackedBytes += int64(bytes)
-	e.srtt = srtt
+	if srtt > 0 {
+		e.srtt = srtt
+	}
 	if minRTT > 0 {
 		e.minRTT = minRTT
 	}
@@ -217,7 +232,14 @@ func (e *Estimator) ensureStarted(now time.Duration) {
 
 // maybeTick closes any elapsed sample intervals. Callbacks arrive every
 // few hundred microseconds under load, so quantization error is small.
+// A wild clock jump (suspend/resume, a caller feeding wall-clock
+// deltas) is bounded to a few windows of catch-up work: beyond that
+// the intervening silence carries no signal, so the clock snaps
+// forward instead of spinning through millions of empty intervals.
 func (e *Estimator) maybeTick(now time.Duration) {
+	if maxLag := time.Duration(4*e.cfg.WindowSamples) * e.cfg.SampleInterval; now-e.tickStart > maxLag {
+		e.tickStart = now - maxLag
+	}
 	for now-e.tickStart >= e.cfg.SampleInterval {
 		e.closeInterval(e.tickStart + e.cfg.SampleInterval)
 	}
@@ -254,16 +276,25 @@ func (e *Estimator) closeInterval(end time.Duration) {
 
 	var z float64
 	switch {
-	case mu <= 0 || routS <= 0:
+	case mu <= 0 || routS <= 0 || !finite(mu) || !finite(rinD) || !finite(routS):
+		// A zero-rate interval (outage, pre-start) or a poisoned input
+		// gives the ratio no meaning: hold the last estimate rather
+		// than let a division spray NaN/Inf into the FFT window.
 		z = e.zLast
 	default:
 		z = mu*rinD/routS - rinD
+		if !finite(z) {
+			z = e.zLast
+		}
 		if z < 0 {
 			z = 0
 		}
 		if z > 2*mu {
 			z = 2 * mu
 		}
+	}
+	if !finite(z) {
+		z = 0
 	}
 	e.zLast = z
 	qdel := (e.srtt - e.minRTT).Seconds()
@@ -387,12 +418,20 @@ func (e *Estimator) computeEta(now time.Duration, mu float64) {
 		ampR = floor
 	}
 	eta := ampZ / ampR
+	if !finite(eta) {
+		// A degenerate window (all-NaN spectrum, zero-energy pulse)
+		// yields no verdict: skip the slide rather than emit a
+		// non-finite eta for downstream consumers to choke on.
+		return
+	}
 	// Response phase relative to the (RTT-aligned) pulse. A yielding
 	// response is anti-phase (pi); deviations from pi encode the
 	// cross traffic's control-loop lag. An instantaneous droptail
 	// slot-race artifact shows ~zero lag.
-	e.phaseLast = wrapPi(phZ - phR - math.Pi)
-	e.Phase.Append(now, e.phaseLast)
+	if ph := wrapPi(phZ - phR - math.Pi); finite(ph) {
+		e.phaseLast = ph
+		e.Phase.Append(now, ph)
+	}
 	e.etaLast = eta
 	e.etaOK = true
 	e.Elasticity.Append(now, eta)

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/nimbus"
@@ -29,6 +30,21 @@ type ClientConfig struct {
 	MaxRateBps float64
 	// Seed randomizes the session id.
 	Seed int64
+
+	// HandshakeAttempts is how many Hello packets the client sends
+	// before giving up on an unresponsive server (default 5). Each
+	// attempt waits HandshakeTimeout doubled per retry, capped at 2s —
+	// exponential backoff against a server that is slow rather than
+	// dead.
+	HandshakeAttempts int
+	// HandshakeTimeout is the first attempt's reply deadline (default
+	// 250ms).
+	HandshakeTimeout time.Duration
+	// StallTimeout aborts the run early when no acknowledgment has
+	// arrived for this long — a server that died mid-run, or a path
+	// that blackholed. The run then returns a Truncated report instead
+	// of hanging until Duration (default 3s).
+	StallTimeout time.Duration
 }
 
 func (c ClientConfig) norm() ClientConfig {
@@ -40,6 +56,15 @@ func (c ClientConfig) norm() ClientConfig {
 	}
 	if c.MaxRateBps <= 0 {
 		c.MaxRateBps = 100e6
+	}
+	if c.HandshakeAttempts <= 0 {
+		c.HandshakeAttempts = 5
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 250 * time.Millisecond
+	}
+	if c.StallTimeout <= 0 {
+		c.StallTimeout = 3 * time.Second
 	}
 	return c
 }
@@ -57,12 +82,45 @@ type Report struct {
 	Eta []stats.Sample
 	// MeanEta averages the (settled) elasticity windows.
 	MeanEta float64
-	// Elastic is the majority verdict: did cross traffic contend?
+	// Elastic is the majority verdict over settled windows: did cross
+	// traffic contend? Consult Confidence (or Reliable) before acting
+	// on it — a truncated or starved run reports Elastic == false with
+	// near-zero Confidence rather than a trustworthy negative.
 	Elastic bool
 	// CrossRateBps is the final cross-traffic estimate.
 	CrossRateBps float64
 	// ThroughputBps is the probe's achieved rate.
 	ThroughputBps float64
+
+	// Truncated reports that the run ended before the configured
+	// duration; TruncatedReason says why.
+	Truncated       bool
+	TruncatedReason string
+	// Elapsed is the measurement time actually achieved.
+	Elapsed time.Duration
+	// Windows counts the settled elasticity windows behind the verdict.
+	Windows int
+	// Confidence in [0, 1] grades the verdict: the fraction of the
+	// configured duration completed, scaled by the fraction of expected
+	// settled windows observed, discounted up to half under heavy loss.
+	// Zero windows means zero confidence.
+	Confidence float64
+}
+
+// Reliable reports whether the verdict is trustworthy: an untruncated
+// run with Confidence of at least 0.5.
+func (r *Report) Reliable() bool { return !r.Truncated && r.Confidence >= 0.5 }
+
+// Verdict renders the classification with its reliability:
+// "elastic", "inelastic", or "inconclusive" for low-confidence runs.
+func (r *Report) Verdict() string {
+	if !r.Reliable() {
+		return "inconclusive"
+	}
+	if r.Elastic {
+		return "elastic"
+	}
+	return "inelastic"
 }
 
 // Client runs the active measurement against a probe server.
@@ -80,13 +138,24 @@ type Client struct {
 	acked     int64
 	ackedB    int64
 	rttSum    time.Duration
+	lastAckAt time.Time
+	truncated bool
+	truncWhy  string
 	sessionID uint64
 	start     time.Time
+	endedAt   time.Time
+	stop      atomic.Bool
 }
 
 // NewClient prepares a measurement run.
 func NewClient(cfg ClientConfig) *Client {
 	cfg = cfg.norm()
+	if cfg.Seed == 0 {
+		// A fixed default seed would give every client the same session
+		// id; concurrent probes against one server would then alias in
+		// its session table and corrupt each other's accounting.
+		cfg.Seed = time.Now().UnixNano()
+	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &Client{
 		cfg:       cfg,
@@ -96,7 +165,9 @@ func NewClient(cfg ClientConfig) *Client {
 }
 
 // Run performs the measurement and returns the report. It blocks for
-// the configured duration.
+// at most the handshake budget plus the configured duration; a server
+// death mid-run is detected by the stall watchdog and yields a
+// Truncated report rather than an error or a hang.
 func (c *Client) Run() (*Report, error) {
 	raddr, err := net.ResolveUDPAddr("udp", c.cfg.Server)
 	if err != nil {
@@ -109,7 +180,16 @@ func (c *Client) Run() (*Report, error) {
 	defer conn.Close()
 
 	c.start = time.Now()
-	deadline := c.start.Add(c.cfg.Duration)
+	if err := c.handshake(conn); err != nil {
+		return nil, err
+	}
+
+	measureStart := time.Now()
+	deadline := measureStart.Add(c.cfg.Duration)
+	c.mu.Lock()
+	c.lastAckAt = measureStart
+	c.mu.Unlock()
+
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 
@@ -128,10 +208,12 @@ func (c *Client) Run() (*Report, error) {
 		close(done)
 	}()
 	<-done
-	// Give in-flight acks a moment to land.
+	// Give in-flight acks a moment to land, then release the receiver.
 	time.Sleep(50 * time.Millisecond)
+	c.stop.Store(true)
 	conn.SetReadDeadline(time.Now())
 	wg.Wait()
+	c.endedAt = time.Now()
 
 	// Bye (best effort).
 	bye := Header{Type: TypeBye, Session: c.sessionID, SendNano: c.nowNano()}
@@ -143,7 +225,86 @@ func (c *Client) Run() (*Report, error) {
 	return c.report(), nil
 }
 
+// handshake exchanges Hello/Hi with exponential backoff, verifying the
+// server is alive before the measurement clock starts. The reply's RTT
+// seeds the estimator.
+func (c *Client) handshake(conn *net.UDPConn) error {
+	out := make([]byte, HeaderSize)
+	in := make([]byte, 64*1024)
+	timeout := c.cfg.HandshakeTimeout
+	const maxTimeout = 2 * time.Second
+	for attempt := 0; attempt < c.cfg.HandshakeAttempts; attempt++ {
+		h := Header{
+			Type:     TypeHello,
+			Session:  c.sessionID,
+			Seq:      uint64(attempt),
+			SendNano: c.nowNano(),
+		}
+		n, err := h.Encode(out)
+		if err != nil {
+			return fmt.Errorf("probe: encoding hello: %w", err)
+		}
+		if _, err := conn.Write(out[:n]); err != nil {
+			return fmt.Errorf("probe: sending hello: %w", err)
+		}
+		attemptDeadline := time.Now().Add(timeout)
+		for {
+			conn.SetReadDeadline(attemptDeadline)
+			rn, err := conn.Read(in)
+			if err != nil {
+				// An active refusal (ICMP unreachable) errors instantly;
+				// sleep out the attempt anyway so the backoff schedule
+				// holds and a restarting server gets time to come up.
+				if wait := time.Until(attemptDeadline); wait > 0 {
+					time.Sleep(wait)
+				}
+				break // attempt over: back off and resend
+			}
+			hi, err := Decode(in[:rn])
+			if err != nil || hi.Type != TypeHi || hi.Session != c.sessionID {
+				continue // stray packet; keep waiting for our Hi
+			}
+			if rtt := time.Duration(c.nowNano() - hi.EchoNano); rtt > 0 {
+				c.mu.Lock()
+				c.updateRTT(rtt)
+				c.mu.Unlock()
+			}
+			return nil
+		}
+		timeout *= 2
+		if timeout > maxTimeout {
+			timeout = maxTimeout
+		}
+	}
+	return fmt.Errorf("probe: server %s unresponsive after %d handshake attempts",
+		c.cfg.Server, c.cfg.HandshakeAttempts)
+}
+
 func (c *Client) nowNano() int64 { return time.Since(c.start).Nanoseconds() }
+
+// truncate records that the run is ending before its configured
+// duration, keeping the first reason.
+func (c *Client) truncate(why string) {
+	c.mu.Lock()
+	if !c.truncated {
+		c.truncated = true
+		c.truncWhy = why
+	}
+	c.mu.Unlock()
+}
+
+// stalled reports whether the ack stream has been silent too long,
+// recording the truncation on first detection.
+func (c *Client) stalled(now time.Time) bool {
+	c.mu.Lock()
+	quiet := c.sent > 0 && now.Sub(c.lastAckAt) > c.cfg.StallTimeout
+	c.mu.Unlock()
+	if quiet {
+		c.truncate(fmt.Sprintf("no acknowledgment for %v (server dead or path blackholed)",
+			c.cfg.StallTimeout))
+	}
+	return quiet
+}
 
 func (c *Client) sendLoop(conn *net.UDPConn, deadline time.Time) {
 	buf := make([]byte, c.cfg.PacketSize)
@@ -151,8 +312,15 @@ func (c *Client) sendLoop(conn *net.UDPConn, deadline time.Time) {
 	next := time.Now()
 	for time.Now().Before(deadline) {
 		now := time.Now()
+		if c.stalled(now) {
+			return
+		}
 		if now.Before(next) {
-			time.Sleep(next.Sub(now))
+			wait := next.Sub(now)
+			if wait > 100*time.Millisecond {
+				wait = 100 * time.Millisecond // keep the stall watchdog live
+			}
+			time.Sleep(wait)
 			continue
 		}
 		h := Header{
@@ -163,9 +331,13 @@ func (c *Client) sendLoop(conn *net.UDPConn, deadline time.Time) {
 			Size:     uint16(c.cfg.PacketSize),
 		}
 		if _, err := h.Encode(buf); err != nil {
+			c.truncate(fmt.Sprintf("encoding data packet: %v", err))
 			return
 		}
 		if _, err := conn.Write(buf); err != nil {
+			// Connected UDP sockets surface ICMP unreachable as a write
+			// error: the server vanished.
+			c.truncate(fmt.Sprintf("send failed: %v", err))
 			return
 		}
 		seq++
@@ -197,7 +369,7 @@ func (c *Client) receiveLoop(conn *net.UDPConn, deadline time.Time) {
 		conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
 		n, err := conn.Read(buf)
 		if err != nil {
-			if time.Now().After(deadline) {
+			if c.stop.Load() || time.Now().After(deadline) {
 				return
 			}
 			continue
@@ -215,6 +387,7 @@ func (c *Client) receiveLoop(conn *net.UDPConn, deadline time.Time) {
 		c.acked++
 		c.ackedB += int64(h.Size)
 		c.rttSum += rtt
+		c.lastAckAt = time.Now()
 		c.updateRTT(rtt)
 		elapsed := time.Duration(nowN)
 		inflight := int(c.sent-c.acked) * c.cfg.PacketSize
@@ -260,11 +433,13 @@ func (c *Client) report() *Report {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	r := &Report{
-		Session: c.sessionID,
-		Sent:    c.sent,
-		Acked:   c.acked,
-		MinRTT:  c.minRTT,
-		Eta:     c.cc.Est.Elasticity.Samples(),
+		Session:         c.sessionID,
+		Sent:            c.sent,
+		Acked:           c.acked,
+		MinRTT:          c.minRTT,
+		Eta:             c.cc.Est.Elasticity.Samples(),
+		Truncated:       c.truncated,
+		TruncatedReason: c.truncWhy,
 	}
 	if c.sent > 0 {
 		r.LossRate = 1 - float64(c.acked)/float64(c.sent)
@@ -275,11 +450,16 @@ func (c *Client) report() *Report {
 	if c.acked > 0 {
 		r.MeanRTT = c.rttSum / time.Duration(c.acked)
 	}
-	el := time.Since(c.start).Seconds()
-	if el > 0 {
+	ended := c.endedAt
+	if ended.IsZero() {
+		ended = time.Now()
+	}
+	r.Elapsed = ended.Sub(c.start)
+	if el := r.Elapsed.Seconds(); el > 0 {
 		r.ThroughputBps = float64(c.ackedB) * 8 / el
 	}
 	r.CrossRateBps = c.cc.Est.CrossRate()
+
 	// Majority verdict over settled windows (skip the first quarter).
 	settle := c.cfg.Duration / 4
 	var sum float64
@@ -294,9 +474,33 @@ func (c *Client) report() *Report {
 			elastic++
 		}
 	}
+	r.Windows = count
 	if count > 0 {
 		r.MeanEta = sum / float64(count)
 		r.Elastic = elastic*2 > count
 	}
+
+	// Confidence: completion fraction x settled-window yield, with up
+	// to a 50% discount under heavy loss. A run cut short or starved of
+	// windows degrades to a low-confidence (inconclusive) verdict
+	// instead of a crisp-looking wrong one.
+	completion := float64(r.Elapsed) / float64(c.cfg.Duration)
+	if completion > 1 {
+		completion = 1
+	}
+	slide := c.cc.Est.Config().SlideInterval
+	expected := float64(c.cfg.Duration-settle) / float64(slide)
+	if expected < 1 {
+		expected = 1
+	}
+	windowFrac := float64(count) / expected
+	if windowFrac > 1 {
+		windowFrac = 1
+	}
+	conf := completion * windowFrac * (1 - 0.5*r.LossRate)
+	if conf < 0 {
+		conf = 0
+	}
+	r.Confidence = conf
 	return r
 }

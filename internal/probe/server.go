@@ -13,8 +13,30 @@ import (
 type ServerConfig struct {
 	// Addr is the UDP listen address, e.g. ":4460".
 	Addr string
+	// MaxSessions caps concurrently tracked sessions (default 1024). A
+	// Hello beyond the cap is ignored — the client's handshake retry
+	// surfaces the rejection as an unresponsive server rather than a
+	// half-open measurement.
+	MaxSessions int
+	// SessionTTL evicts sessions with no traffic for this long
+	// (default 2m). Clients that die without a Bye would otherwise
+	// leak map entries forever.
+	SessionTTL time.Duration
 	// Logf, if non-nil, receives diagnostic lines.
 	Logf func(format string, args ...interface{})
+}
+
+func (c ServerConfig) norm() ServerConfig {
+	if c.Addr == "" {
+		c.Addr = ":4460"
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 2 * time.Minute
+	}
+	return c
 }
 
 // ServerStats are lifetime counters, safe for concurrent reads.
@@ -24,6 +46,10 @@ type ServerStats struct {
 	Acks        atomic.Int64
 	Sessions    atomic.Int64
 	BadPackets  atomic.Int64
+	// Evicted counts sessions removed by the TTL sweep; Rejected counts
+	// Hellos refused at the MaxSessions cap.
+	Evicted  atomic.Int64
+	Rejected atomic.Int64
 }
 
 // Server acknowledges probe packets: for each data packet it returns
@@ -34,8 +60,9 @@ type Server struct {
 	conn  *net.UDPConn
 	start time.Time
 
-	mu       sync.Mutex
-	sessions map[uint64]struct{}
+	mu        sync.Mutex
+	sessions  map[uint64]time.Duration // id -> last activity (since start)
+	lastSweep time.Duration
 
 	// Stats exposes lifetime counters.
 	Stats ServerStats
@@ -46,9 +73,7 @@ type Server struct {
 
 // NewServer binds the listen socket. Call Serve to start processing.
 func NewServer(cfg ServerConfig) (*Server, error) {
-	if cfg.Addr == "" {
-		cfg.Addr = ":4460"
-	}
+	cfg = cfg.norm()
 	laddr, err := net.ResolveUDPAddr("udp", cfg.Addr)
 	if err != nil {
 		return nil, err
@@ -61,7 +86,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg:      cfg,
 		conn:     conn,
 		start:    time.Now(),
-		sessions: make(map[uint64]struct{}),
+		sessions: make(map[uint64]time.Duration),
 		done:     make(chan struct{}),
 	}, nil
 }
@@ -98,13 +123,21 @@ func (s *Server) Serve() error {
 			s.Stats.BadPackets.Add(1)
 			continue
 		}
-		now := time.Since(s.start).Nanoseconds()
+		now := time.Since(s.start)
 		switch h.Type {
 		case TypeHello:
-			s.trackSession(h.Session)
-			reply := Header{Type: TypeHi, Session: h.Session, Seq: h.Seq, EchoNano: h.SendNano, RecvNano: now}
+			if !s.trackSession(h.Session, now) {
+				continue // at capacity: no Hi, client retry will report it
+			}
+			reply := Header{Type: TypeHi, Session: h.Session, Seq: h.Seq, EchoNano: h.SendNano, RecvNano: now.Nanoseconds()}
 			s.reply(out, &reply, raddr)
 		case TypeData:
+			// Auto-register handshake-less (legacy) clients, still
+			// under the cap; refuse to ack rejected sessions so a
+			// flood cannot bypass the limit via data packets.
+			if !s.trackSession(h.Session, now) {
+				continue
+			}
 			s.Stats.DataPackets.Add(1)
 			s.Stats.DataBytes.Add(int64(n))
 			ack := Header{
@@ -112,12 +145,15 @@ func (s *Server) Serve() error {
 				Session:  h.Session,
 				Seq:      h.Seq,
 				EchoNano: h.SendNano,
-				RecvNano: now,
+				RecvNano: now.Nanoseconds(),
 				Size:     uint16(n),
 			}
 			s.reply(out, &ack, raddr)
 			s.Stats.Acks.Add(1)
 		case TypeBye:
+			s.mu.Lock()
+			delete(s.sessions, h.Session)
+			s.mu.Unlock()
 			s.logf("probe: session %d from %v done", h.Session, raddr)
 		default:
 			s.Stats.BadPackets.Add(1)
@@ -125,14 +161,49 @@ func (s *Server) Serve() error {
 	}
 }
 
-func (s *Server) trackSession(id uint64) {
+// trackSession refreshes (or registers) a session's activity time and
+// reports whether the session is accepted. New sessions beyond
+// MaxSessions are rejected after a TTL sweep fails to free a slot.
+func (s *Server) trackSession(id uint64, now time.Duration) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; !ok {
-		s.sessions[id] = struct{}{}
-		s.Stats.Sessions.Add(1)
-		s.logf("probe: new session %d", id)
+	if _, ok := s.sessions[id]; ok {
+		s.sessions[id] = now
+		return true
 	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.sweepLocked(now)
+		if len(s.sessions) >= s.cfg.MaxSessions {
+			s.Stats.Rejected.Add(1)
+			s.logf("probe: rejecting session %d: %d sessions at cap", id, len(s.sessions))
+			return false
+		}
+	} else if now-s.lastSweep >= s.cfg.SessionTTL {
+		s.sweepLocked(now)
+	}
+	s.sessions[id] = now
+	s.Stats.Sessions.Add(1)
+	s.logf("probe: new session %d", id)
+	return true
+}
+
+// sweepLocked evicts sessions idle past the TTL. Caller holds mu.
+func (s *Server) sweepLocked(now time.Duration) {
+	s.lastSweep = now
+	for id, seen := range s.sessions {
+		if now-seen > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+			s.Stats.Evicted.Add(1)
+			s.logf("probe: evicted stale session %d (idle %v)", id, now-seen)
+		}
+	}
+}
+
+// ActiveSessions returns the number of currently tracked sessions.
+func (s *Server) ActiveSessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
 }
 
 func (s *Server) reply(out []byte, h *Header, raddr *net.UDPAddr) {

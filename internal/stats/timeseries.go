@@ -1,7 +1,6 @@
 package stats
 
 import (
-	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -13,18 +12,28 @@ type Sample struct {
 	Value float64
 }
 
-// Series is an append-only time series of Samples. Samples must be
-// appended in non-decreasing time order; Append panics otherwise, since
-// out-of-order appends indicate a simulator bug rather than bad input.
-// The zero value is an empty series ready for use.
+// Series is an append-only time series of Samples. Samples are
+// expected in non-decreasing time order; an out-of-order append is
+// clamped to the latest timestamp and counted in Clamped rather than
+// panicking. Under the virtual clock an out-of-order append would be a
+// simulator bug, but the same series now also record wall-clock
+// measurements (the probe path), where clock steps and goroutine races
+// make small regressions a survivable fact of life — the value is
+// kept, its timestamp is pulled forward, and the count stays visible
+// for diagnosis. The zero value is an empty series ready for use.
 type Series struct {
 	samples []Sample
+	// Clamped counts appends whose timestamps ran backwards and were
+	// clamped to the series' latest time.
+	Clamped int64
 }
 
-// Append adds a sample at time at.
+// Append adds a sample at time at, clamping at to the latest existing
+// timestamp if it would run backwards (see the type comment).
 func (s *Series) Append(at time.Duration, v float64) {
 	if n := len(s.samples); n > 0 && at < s.samples[n-1].At {
-		panic(fmt.Sprintf("stats: out-of-order append: %v after %v", at, s.samples[n-1].At))
+		at = s.samples[n-1].At
+		s.Clamped++
 	}
 	s.samples = append(s.samples, Sample{At: at, Value: v})
 }

@@ -24,15 +24,28 @@ func TestSeriesAppendAndSpan(t *testing.T) {
 	}
 }
 
-func TestSeriesOutOfOrderPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("expected panic on out-of-order append")
-		}
-	}()
+func TestSeriesOutOfOrderClamps(t *testing.T) {
 	var s Series
 	s.Append(2*time.Second, 1)
-	s.Append(time.Second, 2)
+	s.Append(time.Second, 2) // runs backwards: clamped, not dropped
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want both samples kept", s.Len())
+	}
+	got := s.Samples()[1]
+	if got.At != 2*time.Second || got.Value != 2 {
+		t.Errorf("clamped sample = %+v, want At=2s Value=2", got)
+	}
+	if s.Clamped != 1 {
+		t.Errorf("Clamped = %d, want 1", s.Clamped)
+	}
+	// The series stays sorted, so binary-search consumers still work.
+	if vs := s.Window(0, 3*time.Second); len(vs) != 2 {
+		t.Errorf("Window over clamped series = %v", vs)
+	}
+	s.Append(3*time.Second, 3) // in-order appends are unaffected
+	if s.Clamped != 1 {
+		t.Errorf("in-order append bumped Clamped to %d", s.Clamped)
+	}
 }
 
 func TestSeriesValues(t *testing.T) {

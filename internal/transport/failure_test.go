@@ -6,42 +6,17 @@ import (
 	"time"
 
 	"repro/internal/cca"
+	"repro/internal/faults"
 	"repro/internal/qdisc"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
 
-// lossyQueue drops a deterministic pseudo-random fraction of packets at
-// enqueue, modelling a corrupting link (distinct from congestive loss).
-type lossyQueue struct {
-	inner sim.Qdisc
-	rng   *rand.Rand
-	p     float64
-	drops int
-}
-
-func newLossyQueue(inner sim.Qdisc, p float64, seed int64) *lossyQueue {
-	return &lossyQueue{inner: inner, rng: rand.New(rand.NewSource(seed)), p: p}
-}
-
-func (l *lossyQueue) Enqueue(pkt *sim.Packet, now time.Duration) bool {
-	if l.rng.Float64() < l.p {
-		l.drops++
-		return false
-	}
-	return l.inner.Enqueue(pkt, now)
-}
-func (l *lossyQueue) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
-	return l.inner.Dequeue(now)
-}
-func (l *lossyQueue) Len() int   { return l.inner.Len() }
-func (l *lossyQueue) Bytes() int { return l.inner.Bytes() }
-
 // TestDeliveryUnderRandomLoss checks the transport delivers everything
 // through a 2% random-loss link.
 func TestDeliveryUnderRandomLoss(t *testing.T) {
 	eng := &sim.Engine{}
-	q := newLossyQueue(qdisc.NewDropTail(1<<20), 0.02, 42)
+	q := faults.NewLoss(qdisc.NewDropTail(1<<20), 0.02, 42)
 	link := sim.NewLink(eng, "l", 20e6, 10*time.Millisecond, q)
 	done := false
 	f := transport.NewFlow(eng, transport.FlowConfig{
@@ -54,9 +29,9 @@ func TestDeliveryUnderRandomLoss(t *testing.T) {
 	eng.Run(2 * time.Minute)
 	if !done {
 		t.Fatalf("incomplete: acked %d of %d (link drops %d)",
-			f.Sender.BytesAcked(), total, q.drops)
+			f.Sender.BytesAcked(), total, q.Dropped)
 	}
-	if q.drops == 0 {
+	if q.Dropped == 0 {
 		t.Fatal("loss injection did not fire")
 	}
 	if f.Sender.BytesAcked() != total {
@@ -69,7 +44,7 @@ func TestDeliveryUnderRandomLoss(t *testing.T) {
 func TestDeliveryWithLossyAckPath(t *testing.T) {
 	eng := &sim.Engine{}
 	fwd := sim.NewLink(eng, "fwd", 20e6, 10*time.Millisecond, qdisc.NewDropTail(1<<20))
-	revQ := newLossyQueue(qdisc.NewDropTail(1<<20), 0.05, 7)
+	revQ := faults.NewLoss(qdisc.NewDropTail(1<<20), 0.05, 7)
 	rev := sim.NewLink(eng, "rev", 20e6, 10*time.Millisecond, revQ)
 	done := false
 	f := transport.NewFlow(eng, transport.FlowConfig{
@@ -82,9 +57,9 @@ func TestDeliveryWithLossyAckPath(t *testing.T) {
 	eng.Run(2 * time.Minute)
 	if !done {
 		t.Fatalf("incomplete with lossy ack path: acked %d of %d (ack drops %d)",
-			f.Sender.BytesAcked(), total, revQ.drops)
+			f.Sender.BytesAcked(), total, revQ.Dropped)
 	}
-	if revQ.drops == 0 {
+	if revQ.Dropped == 0 {
 		t.Fatal("ack loss injection did not fire")
 	}
 	// Lost acks appear as data loss to the sender: it retransmits the
@@ -94,45 +69,12 @@ func TestDeliveryWithLossyAckPath(t *testing.T) {
 	}
 }
 
-// reorderQueue releases packets in bursts of reversed order,
-// stress-testing the packet-threshold loss detector.
-type reorderQueue struct {
-	inner  *qdisc.DropTail
-	stash  []*sim.Packet
-	period int
-}
-
-func (r *reorderQueue) flush(now time.Duration) {
-	for i := len(r.stash) - 1; i >= 0; i-- {
-		r.inner.Enqueue(r.stash[i], now)
-	}
-	r.stash = r.stash[:0]
-}
-
-func (r *reorderQueue) Enqueue(p *sim.Packet, now time.Duration) bool {
-	r.stash = append(r.stash, p)
-	if len(r.stash) >= r.period {
-		r.flush(now)
-	}
-	return true
-}
-func (r *reorderQueue) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
-	if r.inner.Len() == 0 && len(r.stash) > 0 {
-		// A real network reorders within bounded time; release the
-		// stash rather than black-holing a tail.
-		r.flush(now)
-	}
-	return r.inner.Dequeue(now)
-}
-func (r *reorderQueue) Len() int   { return r.inner.Len() + len(r.stash) }
-func (r *reorderQueue) Bytes() int { return r.inner.Bytes() }
-
 // TestMildReorderingDoesNotStall verifies that reordering within the
 // loss threshold neither stalls the flow nor spuriously retransmits
 // much.
 func TestMildReorderingDoesNotStall(t *testing.T) {
 	eng := &sim.Engine{}
-	q := &reorderQueue{inner: qdisc.NewDropTail(1 << 20), period: 2}
+	q := faults.NewBatchReorder(qdisc.NewDropTail(1<<20), 2)
 	link := sim.NewLink(eng, "l", 20e6, 10*time.Millisecond, q)
 	done := false
 	f := transport.NewFlow(eng, transport.FlowConfig{
@@ -158,7 +100,7 @@ func TestMildReorderingDoesNotStall(t *testing.T) {
 // causes spurious retransmissions but must not wedge the connection.
 func TestHeavyReorderingStillCompletes(t *testing.T) {
 	eng := &sim.Engine{}
-	q := &reorderQueue{inner: qdisc.NewDropTail(1 << 20), period: 8}
+	q := faults.NewBatchReorder(qdisc.NewDropTail(1<<20), 8)
 	link := sim.NewLink(eng, "l", 20e6, 10*time.Millisecond, q)
 	done := false
 	f := transport.NewFlow(eng, transport.FlowConfig{

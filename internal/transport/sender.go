@@ -151,6 +151,14 @@ func (s *Sender) MinRTT() time.Duration { return s.minRTT }
 // LossEvents returns the number of loss epochs detected.
 func (s *Sender) LossEvents() int64 { return s.lossEvents }
 
+// SpuriousAcks returns the number of acknowledgments that arrived for
+// packets already declared lost — each one marks a spurious
+// retransmission triggered by reordering or delay spikes.
+func (s *Sender) SpuriousAcks() int64 { return s.spurious }
+
+// BytesRetrans returns the total retransmitted byte count.
+func (s *Sender) BytesRetrans() int64 { return s.bytesRetrans }
+
 // effectiveWnd returns the current send window in bytes.
 func (s *Sender) effectiveWnd() int {
 	w := s.cc.CWnd()
