@@ -8,6 +8,7 @@ import (
 	"repro/internal/changepoint"
 	"repro/internal/core"
 	"repro/internal/mlab"
+	"repro/internal/obs"
 )
 
 // BenchmarkFig1Isolation regenerates Figure 1's quantitative claim: the
@@ -80,6 +81,31 @@ func BenchmarkFig3Elasticity(b *testing.B) {
 	}
 	b.ReportMetric(etaElastic, "eta-elastic-phases")
 	b.ReportMetric(etaInelastic, "eta-inelastic-phases")
+}
+
+// BenchmarkFig3ElasticityTraced runs a shortened Figure 3 with the full
+// observability scope attached — metrics registry plus a ring tracer
+// capturing every event — so `benchstat` against BenchmarkFig3Elasticity
+// bounds the end-to-end cost of instrumenting a whole scenario.
+func BenchmarkFig3ElasticityTraced(b *testing.B) {
+	var events int64
+	for i := 0; i < b.N; i++ {
+		ring := obs.NewRing(1 << 16)
+		res, err := core.RunFig3(core.Fig3Config{
+			PhaseDuration: 25 * time.Second,
+			Seed:          1,
+			Obs:           &obs.Scope{Reg: obs.NewRegistry(), Tracer: ring},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+		events = 0
+		for _, n := range ring.Counts() {
+			events += n
+		}
+	}
+	b.ReportMetric(float64(events), "events")
 }
 
 // BenchmarkAblationPulse sweeps the probe's pulse frequency and

@@ -5,15 +5,18 @@
 // Usage:
 //
 //	ccabench -experiment fig1|fig2|oracle|pulse|subpkt|jitter|cellular|tslp|access
+//	         [-trace run.jsonl] [-metrics-out metrics.csv]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -21,7 +24,43 @@ func main() {
 	dur := flag.Duration("duration", 0, "override scenario duration (0 = experiment default)")
 	trials := flag.Int("trials", 30, "oracle study trials")
 	seed := flag.Int64("seed", 1, "random seed")
+	tracePath := flag.String("trace", "", "write a JSONL run log (manifest + events + summary) to this file")
+	traceSample := flag.Int("trace-sample", 64, "keep 1-in-N bulk events in the trace (control events always kept)")
+	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot to this file (.csv or .jsonl)")
 	flag.Parse()
+
+	// The experiments build their dumbbells internally, so the scope is
+	// installed as the package-wide fallback rather than threaded
+	// through each config.
+	var (
+		reg    *obs.Registry
+		runLog *obs.RunLogWriter
+		logF   *os.File
+	)
+	if *tracePath != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		sc := &obs.Scope{Reg: reg}
+		if *tracePath != "" {
+			var err error
+			logF, err = os.Create(*tracePath)
+			if err != nil {
+				fail(err)
+			}
+			runLog, err = obs.NewRunLogWriter(logF, obs.Manifest{
+				Tool: "ccabench",
+				Seed: *seed,
+				Extra: map[string]string{
+					"experiment": *exp,
+					"trials":     strconv.Itoa(*trials),
+				},
+			})
+			fail(err)
+			tr := runLog.Tracer()
+			tr.SetSampling(*traceSample)
+			sc.Tracer = tr
+		}
+		core.DefaultObs = sc
+	}
 
 	switch *exp {
 	case "fig1":
@@ -67,6 +106,14 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "ccabench: unknown experiment %q\n", *exp)
 		os.Exit(2)
+	}
+
+	if runLog != nil {
+		fail(runLog.Close(obs.Summary{}))
+		fail(logF.Close())
+	}
+	if *metricsOut != "" {
+		fail(reg.WriteSnapshotFile(*metricsOut))
 	}
 }
 

@@ -5,6 +5,7 @@
 // Usage:
 //
 //	elasticity [-rate 48e6] [-rtt 100ms] [-phase 45s] [-series]
+//	           [-trace run.jsonl] [-metrics-out metrics.csv]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -29,6 +31,9 @@ func main() {
 	faultProfile := flag.String("faults", "",
 		"impair the bottleneck with a named fault profile ("+strings.Join(faults.Names(), ", ")+")")
 	faultSeed := flag.Int64("fault-seed", 1, "fault injector random seed")
+	tracePath := flag.String("trace", "", "write a JSONL run log (manifest + events + summary) to this file")
+	traceSample := flag.Int("trace-sample", 16, "keep 1-in-N bulk events in the trace (control events always kept)")
+	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot to this file (.csv or .jsonl)")
 	flag.Parse()
 
 	cfg := core.Fig3Config{
@@ -41,14 +46,57 @@ func main() {
 		FaultSeed:     *faultSeed,
 	}
 	cfg.Nimbus.PulseFreq = *pulse
+
+	var (
+		reg    *obs.Registry
+		runLog *obs.RunLogWriter
+		logF   *os.File
+	)
+	if *tracePath != "" || *metricsOut != "" {
+		reg = obs.NewRegistry()
+		sc := &obs.Scope{Reg: reg}
+		if *tracePath != "" {
+			var err error
+			logF, err = os.Create(*tracePath)
+			if err != nil {
+				fail(err)
+			}
+			runLog, err = obs.NewRunLogWriter(logF, cfg.Manifest())
+			if err != nil {
+				fail(err)
+			}
+			tr := runLog.Tracer()
+			tr.SetSampling(*traceSample)
+			sc.Tracer = tr
+		}
+		cfg.Obs = sc
+	}
+
 	res, err := core.RunFig3(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "elasticity:", err)
-		os.Exit(1)
+		fail(err)
+	}
+	if runLog != nil {
+		if err := runLog.Close(res.Summary()); err != nil {
+			fail(err)
+		}
+		if err := logF.Close(); err != nil {
+			fail(err)
+		}
+	}
+	if *metricsOut != "" {
+		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
+			fail(err)
+		}
 	}
 	res.WriteTable(os.Stdout)
 	if *series {
 		fmt.Println()
 		res.WriteSeries(os.Stdout)
 	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "elasticity:", err)
+	os.Exit(1)
 }

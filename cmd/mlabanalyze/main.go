@@ -18,12 +18,14 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/mlab"
+	"repro/internal/obs"
 )
 
 func main() {
 	detector := flag.String("detector", "pelt", "change-point detector: pelt, binseg, or window")
 	minShift := flag.Float64("minshift", 0.2, "minimum relative level shift to count")
 	cdf := flag.Bool("cdf", false, "also print the shift-magnitude CDF as (value, fraction) rows")
+	metricsOut := flag.String("metrics-out", "", "write pipeline stats to this file (.csv or .jsonl)")
 	flag.Parse()
 
 	var r io.Reader = os.Stdin
@@ -45,6 +47,22 @@ func main() {
 		Analysis: mlab.AnalysisConfig{Detector: *detector, MinShiftFrac: *minShift},
 	})
 	res.WriteReport(os.Stdout)
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		an := res.Analysis
+		reg.Gauge("mlab.analysis.total").Set(float64(an.Total))
+		byCat := reg.GaugeFamily("mlab.analysis.flows", "category")
+		for cat, n := range an.ByCat {
+			byCat.With(string(cat)).Set(float64(n))
+		}
+		v := res.Validation
+		reg.Gauge("mlab.analysis.precision").Set(v.Precision())
+		reg.Gauge("mlab.analysis.recall").Set(v.Recall())
+		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mlabanalyze:", err)
+			os.Exit(1)
+		}
+	}
 	if *cdf && res.Analysis.ShiftCDF.Len() > 0 {
 		fmt.Println("\n# shift_magnitude cumulative_fraction")
 		for _, pt := range res.Analysis.ShiftCDF.Points(50) {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	mlabgen [-flows 9984] [-seed 1] [-o dataset.jsonl]
+//	mlabgen [-flows 9984] [-seed 1] [-o dataset.jsonl] [-metrics-out m.csv]
 package main
 
 import (
@@ -14,12 +14,14 @@ import (
 	"os"
 
 	"repro/internal/mlab"
+	"repro/internal/obs"
 )
 
 func main() {
 	flows := flag.Int("flows", 9984, "number of flows (paper: 9,984)")
 	seed := flag.Int64("seed", 1, "random seed")
 	out := flag.String("o", "", "output file (default stdout)")
+	metricsOut := flag.String("metrics-out", "", "write generation stats to this file (.csv or .jsonl)")
 	flag.Parse()
 
 	recs := mlab.Generate(mlab.GeneratorConfig{Flows: *flows, Seed: *seed})
@@ -40,5 +42,17 @@ func main() {
 	}
 	if *out != "" {
 		fmt.Fprintf(os.Stderr, "mlabgen: wrote %d records to %s\n", len(recs), *out)
+	}
+	if *metricsOut != "" {
+		reg := obs.NewRegistry()
+		reg.Gauge("mlab.gen.records").Set(float64(len(recs)))
+		byLabel := reg.GaugeFamily("mlab.gen.label_records", "label")
+		for i := range recs {
+			byLabel.With(string(recs[i].TruthLabel)).Add(1)
+		}
+		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
+			fmt.Fprintln(os.Stderr, "mlabgen:", err)
+			os.Exit(1)
+		}
 	}
 }

@@ -7,6 +7,7 @@
 // Usage:
 //
 //	probe -server host:4460 [-duration 30s] [-mu 48e6] [-maxrate 100e6]
+//	      [-admin 127.0.0.1:6061]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/probe"
 )
 
@@ -32,7 +34,18 @@ func main() {
 		"first handshake reply deadline (doubles per retry)")
 	stall := flag.Duration("stall-timeout", 3*time.Second,
 		"abort the run when no ack arrives for this long")
+	admin := flag.String("admin", "",
+		"serve an HTTP admin endpoint (expvar, pprof) on this address for the run's duration")
 	flag.Parse()
+
+	if *admin != "" {
+		ln, err := obs.ServeAdmin(*admin, obs.AdminMux(nil))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "probe: admin:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+	}
 
 	c := probe.NewClient(probe.ClientConfig{
 		Server:            *server,

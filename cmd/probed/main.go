@@ -4,17 +4,19 @@
 //
 // Usage:
 //
-//	probed [-addr :4460] [-v]
+//	probed [-addr :4460] [-admin 127.0.0.1:6060] [-v]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"os"
 	"os/signal"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/probe"
 )
 
@@ -24,6 +26,8 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 1024, "concurrent session cap")
 	sessionTTL := flag.Duration("session-ttl", 2*time.Minute,
 		"evict sessions idle for this long")
+	admin := flag.String("admin", "",
+		"serve an HTTP admin endpoint (expvar, pprof, /sessions) on this address")
 	flag.Parse()
 
 	cfg := probe.ServerConfig{
@@ -40,6 +44,22 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("probed: listening on %v", srv.Addr())
+
+	if *admin != "" {
+		reg := obs.NewRegistry()
+		srv.RegisterMetrics(reg)
+		reg.PublishExpvar("probed")
+		mux := obs.AdminMux(map[string]http.Handler{
+			"/sessions": obs.JSONHandler(func() interface{} { return srv.Sessions() }),
+		})
+		ln, err := obs.ServeAdmin(*admin, mux)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "probed: admin:", err)
+			os.Exit(1)
+		}
+		defer ln.Close()
+		log.Printf("probed: admin endpoint on http://%v", ln.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

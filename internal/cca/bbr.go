@@ -3,6 +3,7 @@ package cca
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
@@ -69,6 +70,20 @@ type BBR struct {
 
 	inflightNow int
 	now         time.Duration
+	trace       obs.Tracer
+}
+
+// SetTracer implements obs.TraceSetter: state-machine transitions are
+// emitted as EvState events with the new state's name.
+func (b *BBR) SetTracer(t obs.Tracer) { b.trace = t }
+
+// setState switches the state machine and traces the transition.
+func (b *BBR) setState(now time.Duration, next bbrState) {
+	if next != b.state && b.trace != nil {
+		b.trace.Emit(obs.Event{At: now, Type: obs.EvState, Src: "bbr",
+			V1: float64(b.btlBwEstimate()), V2: b.rtProp.Seconds(), Note: next.String()})
+	}
+	b.state = next
 }
 
 var bbrGainCycle = [8]float64{1.25, 0.75, 1, 1, 1, 1, 1, 1}
@@ -136,7 +151,7 @@ func (b *BBR) OnAck(a transport.AckInfo) {
 			} else {
 				b.fullBwCount++
 				if b.fullBwCount >= 3 {
-					b.state = bbrDrain
+					b.setState(a.Now, bbrDrain)
 					b.pacingG = 1 / bbrHighGain
 					b.cwndG = bbrHighGain
 				}
@@ -160,7 +175,7 @@ func (b *BBR) OnAck(a transport.AckInfo) {
 }
 
 func (b *BBR) enterProbeBW(now time.Duration) {
-	b.state = bbrProbeBW
+	b.setState(now, bbrProbeBW)
 	b.cwndG = 2
 	b.cycleIdx = 0
 	b.cycleStamp = now
@@ -171,7 +186,7 @@ func (b *BBR) enterProbeBW(now time.Duration) {
 }
 
 func (b *BBR) enterProbeRTT(now time.Duration) {
-	b.state = bbrProbeRTT
+	b.setState(now, bbrProbeRTT)
 	b.probeRTTDone = now + bbrProbeRTTTime
 	b.pacingG = 1
 	b.cwndG = 0 // CWnd() special-cases ProbeRTT to 4 MSS
@@ -195,9 +210,9 @@ func (b *BBR) advanceCycle(now time.Duration) {
 func (b *BBR) OnLoss(transport.LossInfo) {}
 
 // OnTimeout implements transport.CCA.
-func (b *BBR) OnTimeout(time.Duration) {
+func (b *BBR) OnTimeout(now time.Duration) {
 	// Conservative restart: re-enter startup with a modest window.
-	b.state = bbrStartup
+	b.setState(now, bbrStartup)
 	b.pacingG = bbrHighGain
 	b.cwndG = bbrHighGain
 	b.fullBw = 0

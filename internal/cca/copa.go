@@ -3,6 +3,7 @@ package cca
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -38,6 +39,26 @@ type Copa struct {
 	badWindows    int
 	// ModeTransitions counts mode flips (diagnostics).
 	ModeTransitions int
+
+	trace obs.Tracer
+}
+
+// SetTracer implements obs.TraceSetter: mode flips are emitted as
+// EvState events ("default"/"competitive").
+func (c *Copa) SetTracer(t obs.Tracer) { c.trace = t }
+
+// setCompetitive flips the mode and traces the transition.
+func (c *Copa) setCompetitive(now time.Duration, on bool) {
+	c.competitive = on
+	c.ModeTransitions++
+	if c.trace != nil {
+		note := "default"
+		if on {
+			note = "competitive"
+		}
+		c.trace.Emit(obs.Event{At: now, Type: obs.EvState, Src: "copa",
+			V1: float64(c.ModeTransitions), Note: note})
+	}
 }
 
 // NewCopaCC returns a Copa controller with the default delta of 0.5.
@@ -139,14 +160,12 @@ func (c *Copa) detectMode(now time.Duration, dq time.Duration) {
 			c.badWindows--
 		}
 		if c.competitive && c.badWindows == 0 {
-			c.competitive = false
-			c.ModeTransitions++
+			c.setCompetitive(now, false)
 		}
 	} else {
 		c.badWindows++
 		if !c.competitive && c.badWindows >= 3 {
-			c.competitive = true
-			c.ModeTransitions++
+			c.setCompetitive(now, true)
 		}
 	}
 	c.windowStart = now

@@ -12,10 +12,19 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/qdisc"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
+
+// DefaultObs, when non-nil, is the observability scope scenarios fall
+// back to when their LinkSpec carries none. Command-line tools set it
+// once at startup so experiments that build their own topologies
+// internally (ccabench, the ablation benches) get traced without
+// threading a scope through every constructor. A nil scope (the
+// default) disables all tracing and metrics at a branch per event.
+var DefaultObs *obs.Scope
 
 // QueueKind selects the bottleneck queue discipline.
 type QueueKind string
@@ -51,6 +60,17 @@ type LinkSpec struct {
 	// FaultSeed for reproducible runs.
 	Faults    *faults.Profile
 	FaultSeed int64
+	// Obs, when non-nil, receives the scenario's trace events and
+	// metrics registrations. When nil, DefaultObs applies.
+	Obs *obs.Scope
+}
+
+// scope resolves the spec's observability scope (possibly nil).
+func (s LinkSpec) scope() *obs.Scope {
+	if s.Obs != nil {
+		return s.Obs
+	}
+	return DefaultObs
 }
 
 func (s LinkSpec) norm() LinkSpec {
@@ -70,11 +90,25 @@ func (s LinkSpec) norm() LinkSpec {
 func (s LinkSpec) RTT() time.Duration { return 2 * s.OneWayDelay }
 
 // BuildQdisc constructs the discipline for the spec, wrapped in the
-// spec's fault profile when one is set.
+// spec's fault profile when one is set. AQM disciplines and fault
+// injectors are pointed at the spec's tracer so their drops and
+// activations surface in the event stream.
 func BuildQdisc(s LinkSpec) sim.Qdisc {
 	q := buildDiscipline(s)
+	if tr := s.scope().T(); tr != nil {
+		switch d := q.(type) {
+		case *qdisc.CoDel:
+			d.Trace = tr
+		case *qdisc.RED:
+			d.Trace = tr
+		case *qdisc.FQCoDel:
+			d.Trace = tr
+		}
+	}
 	if s.Faults != nil {
-		q = s.Faults.Wrap(q, s.FaultSeed)
+		ch := s.Faults.Build(q, s.FaultSeed)
+		ch.SetTracer(s.scope().T())
+		q = ch.Qdisc()
 	}
 	return q
 }
@@ -113,23 +147,33 @@ type Dumbbell struct {
 	Spec LinkSpec
 }
 
-// NewDumbbell constructs the scenario.
+// NewDumbbell constructs the scenario. When the spec (or DefaultObs)
+// carries an observability scope, the engine, link, and every flow
+// built through FlowConfig are wired into it.
 func NewDumbbell(spec LinkSpec) *Dumbbell {
 	spec = spec.norm()
 	eng := &sim.Engine{}
 	link := sim.NewLink(eng, "bottleneck", spec.RateBps, spec.OneWayDelay, BuildQdisc(spec))
+	if sc := spec.scope(); sc != nil {
+		link.Trace = sc.T()
+		eng.RegisterMetrics(sc.R(), "")
+		link.RegisterMetrics(sc.R())
+	}
 	return &Dumbbell{Eng: eng, Link: link, Spec: spec}
 }
 
 // FlowConfig returns a transport config for a flow through the
 // bottleneck with the given controller.
 func (d *Dumbbell) FlowConfig(id, userID int, cc transport.CCA) transport.FlowConfig {
+	sc := d.Spec.scope()
 	return transport.FlowConfig{
 		ID:          id,
 		UserID:      userID,
 		Path:        []*sim.Link{d.Link},
 		ReturnDelay: d.Spec.OneWayDelay,
 		CC:          cc,
+		Trace:       sc.T(),
+		Metrics:     sc.R(),
 	}
 }
 

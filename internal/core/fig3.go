@@ -4,11 +4,13 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"strings"
 	"time"
 
 	"repro/internal/cca"
 	"repro/internal/faults"
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/transport"
@@ -42,6 +44,9 @@ type Fig3Config struct {
 	// injectors.
 	FaultProfile string
 	FaultSeed    int64
+	// Obs, when non-nil, receives the run's trace events and metric
+	// registrations (probe flow, cross flows, link, AQM, faults).
+	Obs *obs.Scope
 }
 
 func (c Fig3Config) norm() Fig3Config {
@@ -118,6 +123,7 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		Queue:       QueueDropTail,
 		BufferBDP:   cfg.BufferBDP,
 		FaultSeed:   cfg.FaultSeed,
+		Obs:         cfg.Obs,
 	}
 	if cfg.FaultProfile != "" {
 		p, err := faults.Lookup(cfg.FaultProfile)
@@ -157,13 +163,9 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 			}
 			var f *transport.Flow
 			d.Eng.ScheduleAt(start, func() {
-				f = transport.NewFlow(d.Eng, transport.FlowConfig{
-					ID: 100 + i, UserID: 1,
-					Path:        d.FlowConfig(0, 0, nil).Path,
-					ReturnDelay: d.Spec.OneWayDelay,
-					CC:          cc,
-					Backlogged:  true,
-				})
+				fc := d.FlowConfig(100+i, 1, cc)
+				fc.Backlogged = true
+				f = transport.NewFlow(d.Eng, fc)
 				f.Start()
 			})
 			d.Eng.ScheduleAt(end, func() {
@@ -180,12 +182,7 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		case "video":
 			var v *traffic.Video
 			d.Eng.ScheduleAt(start, func() {
-				v = traffic.NewVideo(d.Eng, transport.FlowConfig{
-					ID: 100 + i, UserID: 1,
-					Path:        d.FlowConfig(0, 0, nil).Path,
-					ReturnDelay: d.Spec.OneWayDelay,
-					CC:          cca.NewCubicCC(),
-				}, traffic.VideoConfig{})
+				v = traffic.NewVideo(d.Eng, d.FlowConfig(100+i, 1, cca.NewCubicCC()), traffic.VideoConfig{})
 			})
 			d.Eng.ScheduleAt(end, func() {
 				if v != nil {
@@ -229,13 +226,9 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		case "cbr":
 			var f *transport.Flow
 			d.Eng.ScheduleAt(start, func() {
-				f = transport.NewFlow(d.Eng, transport.FlowConfig{
-					ID: 100 + i, UserID: 1,
-					Path:        d.FlowConfig(0, 0, nil).Path,
-					ReturnDelay: d.Spec.OneWayDelay,
-					CC:          cca.NewCBR(0.4 * cfg.RateBps),
-					Backlogged:  true,
-				})
+				fc := d.FlowConfig(100+i, 1, cca.NewCBR(0.4*cfg.RateBps))
+				fc.Backlogged = true
+				f = transport.NewFlow(d.Eng, fc)
 				f.Start()
 			})
 			d.Eng.ScheduleAt(end, func() {
@@ -282,6 +275,38 @@ func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 		res.Phases = append(res.Phases, ph)
 	}
 	return res, nil
+}
+
+// Manifest describes the run for the head of a JSONL run log.
+func (c Fig3Config) Manifest() obs.Manifest {
+	c = c.norm()
+	return obs.Manifest{
+		Tool:        "elasticity",
+		Seed:        c.Seed,
+		FaultSeed:   c.FaultSeed,
+		CCA:         "nimbus",
+		Profile:     c.FaultProfile,
+		RateBps:     c.RateBps,
+		RTTSeconds:  (2 * c.OneWayDelay).Seconds(),
+		Queue:       string(QueueDropTail),
+		BufferBDP:   c.BufferBDP,
+		Phases:      c.Phases,
+		PulseFreqHz: c.Nimbus.Norm().PulseFreq,
+	}
+}
+
+// Summary condenses the result into the run log's trailing summary
+// line: per-phase mean/max eta and throughputs, keyed by phase name.
+func (r *Fig3Result) Summary() obs.Summary {
+	m := map[string]float64{"windows_total": float64(len(r.Eta))}
+	for _, p := range r.Phases {
+		key := strings.ReplaceAll(p.Name, " ", "_")
+		m["mean_eta."+key] = p.MeanEta
+		m["max_eta."+key] = p.MaxEta
+		m["cross_tput_bps."+key] = p.CrossTputBps
+		m["probe_tput_bps."+key] = p.ProbeTputBps
+	}
+	return obs.Summary{Metrics: m}
 }
 
 // WriteTable renders the per-phase summary.

@@ -23,6 +23,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,8 @@ type Loss struct {
 	p     float64
 	// Dropped counts packets the injector discarded.
 	Dropped int64
+	// Trace, if non-nil, receives one EvFault event per injected drop.
+	Trace obs.Tracer
 }
 
 // NewLoss wraps inner with i.i.d. loss probability p in [0, 1].
@@ -46,6 +49,10 @@ func NewLoss(inner sim.Qdisc, p float64, seed int64) *Loss {
 func (l *Loss) Enqueue(p *sim.Packet, now time.Duration) bool {
 	if l.rng.Float64() < l.p {
 		l.Dropped++
+		if l.Trace != nil {
+			l.Trace.Emit(obs.Event{At: now, Type: obs.EvFault, Src: "loss",
+				Flow: int32(p.FlowID), Seq: p.Seq, V1: float64(p.Size), Note: "iid_loss"})
+		}
 		return false
 	}
 	return l.inner.Enqueue(p, now)
@@ -109,6 +116,9 @@ type GilbertElliott struct {
 	Dropped int64
 	// Bursts counts Good→Bad transitions.
 	Bursts int64
+	// Trace, if non-nil, receives EvFault events at burst boundaries
+	// (Note "burst_start"/"burst_end"; V1 = burst count so far).
+	Trace obs.Tracer
 }
 
 // NewGilbertElliott wraps inner with the burst-loss process.
@@ -122,10 +132,18 @@ func (g *GilbertElliott) Enqueue(p *sim.Packet, now time.Duration) bool {
 	if g.bad {
 		if g.rng.Float64() < g.cfg.PBadGood {
 			g.bad = false
+			if g.Trace != nil {
+				g.Trace.Emit(obs.Event{At: now, Type: obs.EvFault, Src: "ge",
+					V1: float64(g.Bursts), Note: "burst_end"})
+			}
 		}
 	} else if g.rng.Float64() < g.cfg.PGoodBad {
 		g.bad = true
 		g.Bursts++
+		if g.Trace != nil {
+			g.Trace.Emit(obs.Event{At: now, Type: obs.EvFault, Src: "ge",
+				V1: float64(g.Bursts), Note: "burst_start"})
+		}
 	}
 	lossP := g.cfg.LossGood
 	if g.bad {

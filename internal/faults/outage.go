@@ -3,6 +3,7 @@ package faults
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -27,6 +28,28 @@ type Outage struct {
 	DropDuring bool
 	// Suppressed counts packets blackholed while down.
 	Suppressed int64
+	// Trace, if non-nil, receives EvFault events when packet activity
+	// observes a down↔up transition (Note "outage_start"/"outage_end").
+	// Transitions are only visible while traffic flows; a flap with no
+	// packets around it goes unrecorded.
+	Trace obs.Tracer
+
+	wasDown bool
+}
+
+// observe traces down↔up transitions as packet activity reveals them.
+func (o *Outage) observe(now time.Duration, down bool) {
+	if down == o.wasDown {
+		return
+	}
+	o.wasDown = down
+	if o.Trace != nil {
+		note := "outage_end"
+		if down {
+			note = "outage_start"
+		}
+		o.Trace.Emit(obs.Event{At: now, Type: obs.EvFault, Src: "outage", Note: note})
+	}
 }
 
 // NewOutage wraps inner with one-shot outage windows. Windows must be
@@ -68,7 +91,9 @@ func (o *Outage) DownAt(now time.Duration) (bool, time.Duration) {
 // Enqueue implements sim.Qdisc.
 func (o *Outage) Enqueue(p *sim.Packet, now time.Duration) bool {
 	if o.DropDuring {
-		if down, _ := o.DownAt(now); down {
+		down, _ := o.DownAt(now)
+		o.observe(now, down)
+		if down {
 			o.Suppressed++
 			return false
 		}
@@ -78,7 +103,9 @@ func (o *Outage) Enqueue(p *sim.Packet, now time.Duration) bool {
 
 // Dequeue implements sim.Qdisc.
 func (o *Outage) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
-	if down, until := o.DownAt(now); down {
+	down, until := o.DownAt(now)
+	o.observe(now, down)
+	if down {
 		return nil, until
 	}
 	return o.inner.Dequeue(now)

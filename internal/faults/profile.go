@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -60,6 +61,20 @@ type Chain struct {
 
 // Qdisc returns the outermost wrapper, ready to attach to a link.
 func (c *Chain) Qdisc() sim.Qdisc { return c.outer }
+
+// SetTracer points every instantiated injector that can trace fault
+// activations (loss, burst loss, outages) at t.
+func (c *Chain) SetTracer(t obs.Tracer) {
+	if c.Loss != nil {
+		c.Loss.Trace = t
+	}
+	if c.GE != nil {
+		c.GE.Trace = t
+	}
+	if c.Outage != nil {
+		c.Outage.Trace = t
+	}
+}
 
 // InjectedDrops totals the packets discarded by loss injectors and
 // blackholed outages (inner-queue congestive drops are not included).

@@ -3,6 +3,7 @@ package nimbus
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/transport"
 )
@@ -57,6 +58,16 @@ type CCA struct {
 
 	// ModeTransitions counts mode flips (diagnostics).
 	ModeTransitions int
+
+	trace obs.Tracer
+}
+
+// SetTracer implements obs.TraceSetter: mode flips are emitted as
+// EvState events, and the estimator's eta/pulse events share the same
+// tracer.
+func (n *CCA) SetTracer(t obs.Tracer) {
+	n.trace = t
+	n.Est.Trace = t
 }
 
 // NewCCA returns a Nimbus controller with the given estimator
@@ -170,6 +181,10 @@ func (n *CCA) maybeSwitch() {
 		n.mode = want
 		n.agreeCount = 0
 		n.ModeTransitions++
+		if n.trace != nil {
+			n.trace.Emit(obs.Event{At: n.now, Type: obs.EvState, Src: "nimbus",
+				V1: eta, V2: n.Est.CrossRate(), Note: want.String()})
+		}
 		if n.mode == ModeCompetitive {
 			mu := n.Est.Mu(n.now)
 			rtt := maxSec(n.srtt, 10*time.Millisecond)

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/dsp"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -169,6 +170,12 @@ type Estimator struct {
 	// TraceCross controls whether Cross is retained (it grows one
 	// point per SampleInterval).
 	TraceCross bool
+	// Trace, if non-nil, receives EvEta events (one per slide; V1 = eta,
+	// V2 = cross-traffic rate estimate) and EvPulse events (one per pulse
+	// cycle boundary; V1 = pulse frequency, V2 = cross rate).
+	Trace obs.Tracer
+
+	lastCycle int64
 }
 
 // NewEstimator returns an estimator with the given configuration.
@@ -305,6 +312,13 @@ func (e *Estimator) closeInterval(end time.Duration) {
 	if e.TraceCross {
 		e.Cross.Append(end, z)
 	}
+	if cycle := int64(end.Seconds() * e.cfg.PulseFreq); cycle != e.lastCycle {
+		e.lastCycle = cycle
+		if e.Trace != nil {
+			e.Trace.Emit(obs.Event{At: end, Type: obs.EvPulse, Src: "nimbus",
+				Seq: cycle, V1: e.cfg.PulseFreq, V2: z})
+		}
+	}
 
 	if end-e.lastSlide >= e.cfg.SlideInterval && e.total >= e.cfg.WindowSamples {
 		e.lastSlide = end
@@ -394,6 +408,10 @@ func (e *Estimator) computeEta(now time.Duration, mu float64) {
 		e.etaLast = 0
 		e.etaOK = true
 		e.Elasticity.Append(now, 0)
+		if e.Trace != nil {
+			e.Trace.Emit(obs.Event{At: now, Type: obs.EvEta, Src: "nimbus",
+				V2: e.zLast, Note: "unsaturated"})
+		}
 		return
 	}
 	zs := e.window(e.zbuf)
@@ -435,6 +453,10 @@ func (e *Estimator) computeEta(now time.Duration, mu float64) {
 	e.etaLast = eta
 	e.etaOK = true
 	e.Elasticity.Append(now, eta)
+	if e.Trace != nil {
+		e.Trace.Emit(obs.Event{At: now, Type: obs.EvEta, Src: "nimbus",
+			V1: eta, V2: e.zLast})
+	}
 }
 
 // OverloadFactor returns the window-mean cross-traffic estimate as a

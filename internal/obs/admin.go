@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// AdminMux returns an HTTP mux with the standard introspection
+// endpoints — /debug/vars (expvar, including any registry published
+// via PublishExpvar) and /debug/pprof — plus any extra handlers
+// ("/sessions", ...). It never touches http.DefaultServeMux, so
+// importing this package does not leak debug handlers into servers
+// the caller builds elsewhere.
+func AdminMux(extra map[string]http.Handler) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for path, h := range extra {
+		mux.Handle(path, h)
+	}
+	return mux
+}
+
+// JSONHandler adapts a value-producing func to an HTTP handler that
+// serves it as indented JSON — the shape the /sessions views use.
+func JSONHandler(fn func() interface{}) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(fn()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// ServeAdmin binds addr and serves the mux in a background goroutine.
+// It returns the bound listener (useful with ":0") — callers close it
+// to stop. Serve errors after Close are discarded.
+func ServeAdmin(addr string, mux *http.ServeMux) (net.Listener, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

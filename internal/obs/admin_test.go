@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+)
+
+func TestAdminMuxEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("admin.test.hits").Add(3)
+	reg.PublishExpvar("obs_admin_test")
+
+	mux := AdminMux(map[string]http.Handler{
+		"/sessions": JSONHandler(func() interface{} {
+			return []map[string]interface{}{{"id": 42, "idle_s": 1.5}}
+		}),
+	})
+	ln, err := ServeAdmin("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	base := fmt.Sprintf("http://%s", ln.Addr())
+
+	get := func(path string) []byte {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(get("/debug/vars"), &vars); err != nil {
+		t.Fatalf("vars not JSON: %v", err)
+	}
+	if _, ok := vars["obs_admin_test"]; !ok {
+		t.Error("published registry missing from /debug/vars")
+	}
+
+	var sessions []map[string]interface{}
+	if err := json.Unmarshal(get("/sessions"), &sessions); err != nil {
+		t.Fatalf("/sessions not JSON: %v", err)
+	}
+	if len(sessions) != 1 || sessions[0]["id"].(float64) != 42 {
+		t.Errorf("sessions: %v", sessions)
+	}
+
+	if len(get("/debug/pprof/cmdline")) == 0 {
+		t.Error("pprof cmdline empty")
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// fixedRegistry builds a registry with deterministic contents for the
+// exporter golden tests.
+func fixedRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sim.engine.events").Add(1234)
+	r.CounterL("qdisc.drops", "qdisc=codel").Add(7)
+	r.CounterL("qdisc.drops", "qdisc=droptail").Add(3)
+	r.Gauge("link.rate_bps").Set(48e6)
+	r.GaugeFamily("flow.goodput_bps", "flow").With("1").Set(12.5e6)
+	h := r.Histogram("flow.rtt_ms", "flow=1", []float64{10, 50, 100})
+	for _, v := range []float64{5, 10, 11, 49, 50, 51, 100, 250} {
+		h.Observe(v)
+	}
+	r.RegisterFunc("probe.sessions.active", "", func() float64 { return 2 })
+	return r
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s mismatch:\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+func TestSnapshotJSONLGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, fixedRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.jsonl", buf.Bytes())
+}
+
+func TestSnapshotCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, fixedRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "metrics.csv", buf.Bytes())
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]float64{10, 50, 100})
+	// Bounds are inclusive upper edges: a sample exactly on a bound
+	// lands in that bound's bucket.
+	cases := []struct {
+		v    float64
+		want int // bucket index
+	}{
+		{-1, 0}, {0, 0}, {9.999, 0}, {10, 0},
+		{10.001, 1}, {50, 1},
+		{50.001, 2}, {100, 2},
+		{100.001, 3}, {1e12, 3}, {math.Inf(1), 3},
+	}
+	for _, c := range cases {
+		h.Observe(c.v)
+	}
+	s := h.Snapshot()
+	want := make([]int64, 4)
+	for _, c := range cases {
+		want[c.want]++
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d: got %d want %d", i, s.Counts[i], want[i])
+		}
+	}
+	if s.Count != int64(len(cases)) {
+		t.Errorf("count %d want %d", s.Count, len(cases))
+	}
+	// NaN is dropped, not binned.
+	h.Observe(math.NaN())
+	if got := h.Count(); got != int64(len(cases)) {
+		t.Errorf("NaN was counted: %d", got)
+	}
+}
+
+func TestHistogramUnsortedBoundsSorted(t *testing.T) {
+	h := NewHistogram([]float64{100, 10, 50})
+	h.Observe(20)
+	s := h.Snapshot()
+	if s.Bounds[0] != 10 || s.Bounds[1] != 50 || s.Bounds[2] != 100 {
+		t.Fatalf("bounds not sorted: %v", s.Bounds)
+	}
+	if s.Counts[1] != 1 {
+		t.Fatalf("sample in wrong bucket: %v", s.Counts)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	const perG = 10000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := r.Counter("shared")
+			fam := r.CounterFamily("fam", "k")
+			h := r.Histogram("hist", "", []float64{0.5})
+			gg := r.Gauge("g")
+			for i := 0; i < perG; i++ {
+				c.Inc()
+				fam.With("a").Inc()
+				h.Observe(float64(i % 2))
+				gg.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != goroutines*perG {
+		t.Errorf("shared counter %d want %d", got, goroutines*perG)
+	}
+	if got := r.CounterFamily("fam", "k").With("a").Value(); got != goroutines*perG {
+		t.Errorf("family counter %d want %d", got, goroutines*perG)
+	}
+	if got := r.Histogram("hist", "", nil).Count(); got != goroutines*perG {
+		t.Errorf("histogram count %d want %d", got, goroutines*perG)
+	}
+	if got := r.Gauge("g").Value(); got != goroutines*perG {
+		t.Errorf("gauge %v want %d", got, goroutines*perG)
+	}
+}
+
+func TestSnapshotReset(t *testing.T) {
+	r := fixedRegistry()
+	r.Reset()
+	for _, p := range r.Snapshot() {
+		switch p.Kind {
+		case "func":
+			// Live views survive reset.
+		default:
+			if p.Value != 0 {
+				t.Errorf("%s{%s} not reset: %v", p.Name, p.Label, p.Value)
+			}
+		}
+	}
+}
+
+func TestPublishExpvarIdempotent(t *testing.T) {
+	r := fixedRegistry()
+	r.PublishExpvar("obs_test_metrics")
+	r.PublishExpvar("obs_test_metrics") // must not panic
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRingRetainsAndWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(Event{At: time.Duration(i), Type: EvLoss, Seq: int64(i)})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("retained %d want 4", len(evs))
+	}
+	for i, ev := range evs {
+		if want := int64(6 + i); ev.Seq != want {
+			t.Errorf("event %d seq %d want %d", i, ev.Seq, want)
+		}
+	}
+	if got := r.Counts()["loss"]; got != 10 {
+		t.Errorf("true count %d want 10", got)
+	}
+}
+
+func TestRingSamplingKeepsControlEvents(t *testing.T) {
+	r := NewRing(1000)
+	r.SetSampling(10)
+	for i := 0; i < 100; i++ {
+		r.Emit(Event{Type: EvSend}) // bulk: sampled
+		r.Emit(Event{Type: EvDrop}) // control: always kept
+	}
+	var sends, drops int
+	for _, ev := range r.Events() {
+		switch ev.Type {
+		case EvSend:
+			sends++
+		case EvDrop:
+			drops++
+		}
+	}
+	if sends != 10 {
+		t.Errorf("sampled sends %d want 10", sends)
+	}
+	if drops != 100 {
+		t.Errorf("drops %d want 100 (control events must not be sampled)", drops)
+	}
+	if r.Counts()["send"] != 100 {
+		t.Errorf("true send count %d want 100", r.Counts()["send"])
+	}
+	if r.SampledOut() != 90 {
+		t.Errorf("sampled-out %d want 90", r.SampledOut())
+	}
+}
+
+func TestStreamJSONLRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewStream(&buf)
+	want := []Event{
+		{At: 1500 * time.Millisecond, Type: EvEnqueue, Src: "bottleneck", Flow: 1, Seq: 42, V1: 1500, V2: 3000},
+		{At: 2 * time.Second, Type: EvState, Src: "bbr", Note: "probe_bw"},
+		{At: 3 * time.Second, Type: EvEta, Src: "nimbus", V1: 1.25, V2: -3.1},
+	}
+	for _, ev := range want {
+		s.Emit(ev)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Prepend a manifest so ReadRunLog accepts it.
+	log := `{"type":"manifest","tool":"test","seed":7}` + "\n" + buf.String()
+	got, err := ReadRunLog(strings.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Manifest.Tool != "test" || got.Manifest.Seed != 7 {
+		t.Fatalf("manifest: %+v", got.Manifest)
+	}
+	if len(got.Events) != len(want) {
+		t.Fatalf("events %d want %d", len(got.Events), len(want))
+	}
+	for i, ev := range got.Events {
+		w := want[i]
+		// Timestamps round-trip through 6-decimal seconds.
+		if d := ev.At - w.At; d < -time.Microsecond || d > time.Microsecond {
+			t.Errorf("event %d time %v want %v", i, ev.At, w.At)
+		}
+		ev.At = w.At
+		if ev != w {
+			t.Errorf("event %d: got %+v want %+v", i, ev, w)
+		}
+	}
+}
+
+func TestRunLogWriterSummary(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewRunLogWriter(&buf, Manifest{Tool: "unit", Seed: 1, CCA: "nimbus"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := w.Tracer()
+	tr.Emit(Event{Type: EvSend, V1: 1200})
+	tr.Emit(Event{Type: EvEta, V1: 0.9})
+	if err := w.Close(Summary{Metrics: map[string]float64{"mean_eta": 0.9}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRunLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Summary == nil {
+		t.Fatal("no summary")
+	}
+	if got.Summary.Metrics["mean_eta"] != 0.9 {
+		t.Errorf("metrics: %v", got.Summary.Metrics)
+	}
+	if got.Summary.EventCounts["send"] != 1 || got.Summary.EventCounts["eta"] != 1 {
+		t.Errorf("event counts: %v", got.Summary.EventCounts)
+	}
+}
+
+func TestReadRunLogErrors(t *testing.T) {
+	if _, err := ReadRunLog(strings.NewReader(`{"type":"event","ev":"send"}` + "\n")); err == nil {
+		t.Error("missing manifest not rejected")
+	}
+	if _, err := ReadRunLog(strings.NewReader(`{"type":"mystery"}` + "\n")); err == nil {
+		t.Error("unknown line type not rejected")
+	}
+	if _, err := ReadRunLog(strings.NewReader("not json\n")); err == nil {
+		t.Error("malformed line not rejected")
+	}
+}
+
+func TestConcurrentRingEmit(t *testing.T) {
+	r := NewRing(1 << 12)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				r.Emit(Event{Type: EvAck, Flow: int32(g), Seq: int64(i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := r.Counts()["ack"]; got != 40000 {
+		t.Errorf("count %d want 40000", got)
+	}
+}
+
+// TestDisabledTracerZeroAlloc is the acceptance guard: with tracing
+// disabled (nil tracer) the per-event overhead path must allocate
+// nothing. The enabled Ring path must not allocate either — events
+// land in the preallocated buffer.
+func TestDisabledTracerZeroAlloc(t *testing.T) {
+	var tr Tracer // disabled
+	ev := Event{At: time.Second, Type: EvEnqueue, Src: "bottleneck", Flow: 1, Seq: 9, V1: 1500}
+	if allocs := testing.AllocsPerRun(1000, func() { Emit(tr, ev) }); allocs != 0 {
+		t.Errorf("disabled tracer path allocates %v bytes/event, want 0", allocs)
+	}
+	ring := NewRing(1 << 10)
+	tr = ring
+	if allocs := testing.AllocsPerRun(1000, func() { Emit(tr, ev) }); allocs != 0 {
+		t.Errorf("enabled ring path allocates %v allocs/event, want 0", allocs)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var tr Tracer
+	ev := Event{At: time.Second, Type: EvSend, Src: "l", Flow: 1, V1: 1500}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Emit(tr, ev)
+	}
+}
+
+func BenchmarkEmitRing(b *testing.B) {
+	ring := NewRing(1 << 16)
+	var tr Tracer = ring
+	ev := Event{At: time.Second, Type: EvSend, Src: "l", Flow: 1, V1: 1500}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Emit(tr, ev)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 )
 
 // flakyResponder is a bare UDP endpoint that ignores the first n Hello
@@ -216,6 +217,8 @@ func TestServerEvictsStaleSessions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := obs.NewRegistry()
+	srv.RegisterMetrics(reg)
 	go srv.Serve()
 	defer srv.Close()
 
@@ -253,8 +256,15 @@ func TestServerEvictsStaleSessions(t *testing.T) {
 	if srv.Stats.Evicted.Load() == 0 {
 		t.Error("eviction not counted")
 	}
+	if got := reg.Counter("probe.server.evicted").Value(); got == 0 {
+		t.Error("eviction not counted on the metrics registry")
+	}
 	if got := srv.ActiveSessions(); got != 1 {
 		t.Errorf("active sessions = %d, want 1", got)
+	}
+	sess := srv.Sessions()
+	if len(sess) != 1 || sess[0].ID != 2 {
+		t.Errorf("Sessions() = %+v, want exactly session 2", sess)
 	}
 }
 

@@ -4,9 +4,12 @@ import (
 	"errors"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ServerConfig parameterizes the probe server.
@@ -66,6 +69,11 @@ type Server struct {
 
 	// Stats exposes lifetime counters.
 	Stats ServerStats
+
+	// obsEvicted/obsRejected mirror the eviction and rejection counters
+	// onto a metrics registry when RegisterMetrics has been called.
+	obsEvicted  *obs.Counter
+	obsRejected *obs.Counter
 
 	closed atomic.Bool
 	done   chan struct{}
@@ -175,6 +183,9 @@ func (s *Server) trackSession(id uint64, now time.Duration) bool {
 		s.sweepLocked(now)
 		if len(s.sessions) >= s.cfg.MaxSessions {
 			s.Stats.Rejected.Add(1)
+			if s.obsRejected != nil {
+				s.obsRejected.Inc()
+			}
 			s.logf("probe: rejecting session %d: %d sessions at cap", id, len(s.sessions))
 			return false
 		}
@@ -194,6 +205,9 @@ func (s *Server) sweepLocked(now time.Duration) {
 		if now-seen > s.cfg.SessionTTL {
 			delete(s.sessions, id)
 			s.Stats.Evicted.Add(1)
+			if s.obsEvicted != nil {
+				s.obsEvicted.Inc()
+			}
 			s.logf("probe: evicted stale session %d (idle %v)", id, now-seen)
 		}
 	}
@@ -204,6 +218,43 @@ func (s *Server) ActiveSessions() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.sessions)
+}
+
+// SessionInfo is one tracked session as seen by the admin endpoint.
+type SessionInfo struct {
+	ID          uint64  `json:"id"`
+	IdleSeconds float64 `json:"idle_s"`
+}
+
+// Sessions returns a snapshot of the tracked sessions sorted by id, for
+// the live /sessions introspection view.
+func (s *Server) Sessions() []SessionInfo {
+	now := time.Since(s.start)
+	s.mu.Lock()
+	out := make([]SessionInfo, 0, len(s.sessions))
+	for id, seen := range s.sessions {
+		out = append(out, SessionInfo{ID: id, IdleSeconds: (now - seen).Seconds()})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// RegisterMetrics exposes the server's counters on the registry:
+// lifetime packet/session counters as live gauges, plus eviction and
+// rejection counters that increment as they happen.
+func (s *Server) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterFunc("probe.server.data_packets", "", func() float64 { return float64(s.Stats.DataPackets.Load()) })
+	reg.RegisterFunc("probe.server.data_bytes", "", func() float64 { return float64(s.Stats.DataBytes.Load()) })
+	reg.RegisterFunc("probe.server.acks", "", func() float64 { return float64(s.Stats.Acks.Load()) })
+	reg.RegisterFunc("probe.server.sessions_total", "", func() float64 { return float64(s.Stats.Sessions.Load()) })
+	reg.RegisterFunc("probe.server.bad_packets", "", func() float64 { return float64(s.Stats.BadPackets.Load()) })
+	reg.RegisterFunc("probe.server.sessions_active", "", func() float64 { return float64(s.ActiveSessions()) })
+	s.obsEvicted = reg.Counter("probe.server.evicted")
+	s.obsRejected = reg.Counter("probe.server.rejected")
 }
 
 func (s *Server) reply(out []byte, h *Header, raddr *net.UDPAddr) {

@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -31,6 +32,10 @@ type CoDel struct {
 
 	// Dropped counts packets dropped by the AQM (not tail drops).
 	Dropped int64
+	// Trace, if non-nil, receives one EvMark event per AQM drop
+	// (V1 = packet size, V2 = sojourn time in seconds). Tail drops are
+	// traced by the owning link as EvDrop instead.
+	Trace obs.Tracer
 }
 
 // NewCoDel returns a CoDel queue with the given byte limit and default
@@ -64,6 +69,15 @@ func (c *CoDel) pop(now time.Duration) (*sim.Packet, time.Duration, bool) {
 	return p, now - at, true
 }
 
+// markDrop accounts one AQM drop and traces it.
+func (c *CoDel) markDrop(p *sim.Packet, sojourn, now time.Duration) {
+	c.Dropped++
+	if c.Trace != nil {
+		c.Trace.Emit(obs.Event{At: now, Type: obs.EvMark, Src: "codel",
+			Flow: int32(p.FlowID), Seq: p.Seq, V1: float64(p.Size), V2: sojourn.Seconds(), Note: "aqm_drop"})
+	}
+}
+
 // okToDrop updates the first-above-target tracking for one head
 // packet.
 func (c *CoDel) okToDrop(sojourn, now time.Duration) bool {
@@ -92,7 +106,7 @@ func (c *CoDel) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
 			c.dropping = false
 		case now >= c.dropNext:
 			for now >= c.dropNext && c.dropping {
-				c.Dropped++
+				c.markDrop(p, sojourn, now)
 				c.count++
 				p, sojourn, ok = c.pop(now)
 				if !ok {
@@ -108,7 +122,7 @@ func (c *CoDel) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
 		}
 	} else if drop {
 		// Enter dropping state: drop this packet.
-		c.Dropped++
+		c.markDrop(p, sojourn, now)
 		c.dropping = true
 		// Resume closer to the previous rate if we were recently
 		// dropping (the "count" memory).
@@ -156,6 +170,9 @@ type RED struct {
 
 	// Dropped counts early (probabilistic) drops.
 	Dropped int64
+	// Trace, if non-nil, receives one EvMark event per early drop
+	// (V1 = packet size, V2 = EWMA queue bytes at drop time).
+	Trace obs.Tracer
 }
 
 // NewRED returns a RED queue: thresholds default to 1/4 and 3/4 of the
@@ -192,16 +209,25 @@ func (r *RED) Enqueue(p *sim.Packet, now time.Duration) bool {
 	case r.avg < float64(r.MinBytes):
 		// Below min: always accept (subject to the hard limit).
 	case r.avg >= float64(r.MaxBytes):
-		r.Dropped++
+		r.markDrop(p, now)
 		return false
 	default:
 		pDrop := r.MaxP * (r.avg - float64(r.MinBytes)) / float64(r.MaxBytes-r.MinBytes)
 		if r.rnd() < pDrop {
-			r.Dropped++
+			r.markDrop(p, now)
 			return false
 		}
 	}
 	return r.fifo.Enqueue(p, now)
+}
+
+// markDrop accounts one early drop and traces it.
+func (r *RED) markDrop(p *sim.Packet, now time.Duration) {
+	r.Dropped++
+	if r.Trace != nil {
+		r.Trace.Emit(obs.Event{At: now, Type: obs.EvMark, Src: "red",
+			Flow: int32(p.FlowID), Seq: p.Seq, V1: float64(p.Size), V2: r.avg, Note: "early_drop"})
+	}
 }
 
 // Dequeue implements sim.Qdisc.

@@ -3,6 +3,7 @@ package qdisc
 import (
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -26,6 +27,10 @@ type FQCoDel struct {
 	// Dropped counts enqueue refusals; CoDelDropped counts AQM drops.
 	Dropped      int64
 	CoDelDropped int64
+	// Trace, if non-nil, is propagated to each per-flow CoDel so AQM
+	// drops inside flow queues surface as EvMark events. Set it before
+	// traffic starts; flow queues created earlier keep a nil tracer.
+	Trace obs.Tracer
 }
 
 type fqFlow struct {
@@ -62,6 +67,7 @@ func (f *FQCoDel) Enqueue(p *sim.Packet, now time.Duration) bool {
 	fl := f.flows[id]
 	if fl == nil {
 		fl = &fqFlow{id: id, codel: NewCoDel(f.limit)}
+		fl.codel.Trace = f.Trace
 		f.flows[id] = fl
 	}
 	if !fl.codel.Enqueue(p, now) {

@@ -3,6 +3,8 @@ package sim
 import (
 	"fmt"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Qdisc is a queue discipline attached to a link's egress. Enqueue may
@@ -47,6 +49,10 @@ type Link struct {
 	// OnSend, if non-nil, is called when a packet finishes serializing
 	// (before propagation). Tracing hooks use it.
 	OnSend func(p *Packet, now time.Duration)
+	// Trace, if non-nil, receives enqueue/dequeue/drop events stamped
+	// with the engine's virtual time. Nil (the default) costs one
+	// branch per event and allocates nothing.
+	Trace obs.Tracer
 
 	eng      *Engine
 	busy     bool
@@ -91,12 +97,20 @@ func (l *Link) Send(p *Packet) {
 	now := l.eng.Now()
 	if !l.Q.Enqueue(p, now) {
 		l.stats.DroppedPackets++
+		if l.Trace != nil {
+			l.Trace.Emit(obs.Event{At: now, Type: obs.EvDrop, Src: l.Name,
+				Flow: int32(p.FlowID), Seq: p.Seq, V1: float64(p.Size), Note: "queue_full"})
+		}
 		if l.OnDrop != nil {
 			l.OnDrop(p, now)
 		}
 		return
 	}
 	l.stats.EnqueuedPackets++
+	if l.Trace != nil {
+		l.Trace.Emit(obs.Event{At: now, Type: obs.EvEnqueue, Src: l.Name,
+			Flow: int32(p.FlowID), Seq: p.Seq, V1: float64(p.Size), V2: float64(l.Q.Bytes())})
+	}
 	if !l.busy {
 		l.kick()
 	}
@@ -119,6 +133,10 @@ func (l *Link) kick() {
 		return
 	}
 	l.busy = true
+	if l.Trace != nil {
+		l.Trace.Emit(obs.Event{At: now, Type: obs.EvDequeue, Src: l.Name,
+			Flow: int32(p.FlowID), Seq: p.Seq, V1: float64(p.Size), V2: float64(l.Q.Bytes())})
+	}
 	tx := l.TransmissionTime(p.Size)
 	l.eng.Schedule(tx, func() { l.finish(p, tx) })
 }
@@ -135,4 +153,21 @@ func (l *Link) finish(p *Packet, tx time.Duration) {
 	// Propagate, then continue along the path.
 	l.eng.Schedule(l.Delay, func() { advance(p) })
 	l.kick()
+}
+
+// RegisterMetrics exposes the link's lifetime counters and queue state
+// as live gauges labeled link=<name>.
+func (l *Link) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	label := "link=" + l.Name
+	reg.RegisterFunc("sim.link.sent_packets", label, func() float64 { return float64(l.stats.SentPackets) })
+	reg.RegisterFunc("sim.link.sent_bytes", label, func() float64 { return float64(l.stats.SentBytes) })
+	reg.RegisterFunc("sim.link.enqueued_packets", label, func() float64 { return float64(l.stats.EnqueuedPackets) })
+	reg.RegisterFunc("sim.link.dropped_packets", label, func() float64 { return float64(l.stats.DroppedPackets) })
+	reg.RegisterFunc("sim.link.queue_bytes", label, func() float64 { return float64(l.Q.Bytes()) })
+	reg.RegisterFunc("sim.link.queue_packets", label, func() float64 { return float64(l.Q.Len()) })
+	reg.RegisterFunc("sim.link.rate_bps", label, func() float64 { return l.Rate })
+	reg.RegisterFunc("sim.link.busy_s", label, func() float64 { return l.stats.BusyTime.Seconds() })
 }

@@ -3,6 +3,8 @@ package sim
 import (
 	"math/rand"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // RateDriver varies a link's rate over time, modelling the
@@ -43,6 +45,10 @@ func DriveRate(eng *Engine, link *Link, interval time.Duration, rate func(t time
 		}
 		link.Rate = r
 		d.Trace = append(d.Trace, RatePoint{At: eng.Now(), Bps: r})
+		if link.Trace != nil {
+			// Stamped with the engine's virtual clock, never wall time.
+			link.Trace.Emit(obs.Event{At: eng.Now(), Type: obs.EvRate, Src: link.Name, V1: r})
+		}
 		eng.Schedule(interval, tick)
 	}
 	tick()

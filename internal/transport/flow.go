@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/tcpinfo"
 )
@@ -44,6 +45,13 @@ type FlowConfig struct {
 	OpenLoop bool
 	// TraceRTT retains per-ack RTT samples on the sender.
 	TraceRTT bool
+	// Trace, if non-nil, receives the sender's event stream. It is also
+	// offered to the congestion controller when it implements
+	// obs.TraceSetter, so CCA-internal transitions land in the same log.
+	Trace obs.Tracer
+	// Metrics, if non-nil, gets the sender's per-flow gauges and RTT
+	// histogram registered at flow creation.
+	Metrics *obs.Registry
 }
 
 // Flow couples a Sender and Receiver over the emulated network.
@@ -74,9 +82,18 @@ func NewFlow(eng *sim.Engine, cfg FlowConfig) *Flow {
 		openLoop: cfg.OpenLoop,
 		inflight: make(map[int64]sentInfo),
 		TraceRTT: cfg.TraceRTT,
+		Trace:    cfg.Trace,
 		startAt:  eng.Now(),
 	}
 	s.stateSince = eng.Now()
+	if cfg.Trace != nil {
+		if ts, ok := cfg.CC.(obs.TraceSetter); ok {
+			ts.SetTracer(cfg.Trace)
+		}
+	}
+	if cfg.Metrics != nil {
+		s.RegisterMetrics(cfg.Metrics)
+	}
 	r := &Receiver{
 		eng:         eng,
 		sender:      s,

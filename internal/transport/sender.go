@@ -1,8 +1,10 @@
 package transport
 
 import (
+	"strconv"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/tcpinfo"
@@ -32,6 +34,17 @@ const (
 	stAppLimited
 	stRWndLimited
 )
+
+func (st limitState) String() string {
+	switch st {
+	case stAppLimited:
+		return "app_limited"
+	case stRWndLimited:
+		return "rwnd_limited"
+	default:
+		return "busy"
+	}
+}
 
 // Sender is the transmitting endpoint of a Flow. It owns sequencing,
 // pacing, loss detection, and congestion-controller callbacks. Create
@@ -103,6 +116,14 @@ type Sender struct {
 	RTTs stats.Series
 	// TraceRTT controls whether per-ack RTT samples are retained.
 	TraceRTT bool
+
+	// Trace, if non-nil, receives the sender's event stream: send, ack,
+	// cwnd (bulk, subject to sampling) and loss, timeout, limit-state
+	// transitions (control, always kept). Nil costs one branch per
+	// event.
+	Trace obs.Tracer
+	// RTTHist, if non-nil, gets one Observe(rtt_ms) per acknowledgment.
+	RTTHist *obs.Histogram
 }
 
 // FlowID returns the flow's identifier.
@@ -199,7 +220,12 @@ func (s *Sender) touchState() {
 		}
 	}
 	s.stateSince = now
-	s.state = s.currentState()
+	next := s.currentState()
+	if next != s.state && s.Trace != nil {
+		s.Trace.Emit(obs.Event{At: now, Type: obs.EvState, Src: "sender",
+			Flow: int32(s.flowID), Note: next.String()})
+	}
+	s.state = next
 }
 
 // trySend transmits as many packets as the window, pacing gate, and
@@ -276,6 +302,14 @@ func (s *Sender) sendPacket(size int, retx bool) {
 	if ob, ok := s.cc.(SendObserver); ok {
 		ob.OnSend(now, size, s.inflightBytes)
 	}
+	if s.Trace != nil {
+		note := ""
+		if retx {
+			note = "retx"
+		}
+		s.Trace.Emit(obs.Event{At: now, Type: obs.EvSend, Src: "sender",
+			Flow: int32(s.flowID), Seq: seq, V1: float64(size), V2: float64(s.inflightBytes), Note: note})
+	}
 	s.armRTO()
 	sim.Inject(p)
 }
@@ -311,6 +345,9 @@ func (s *Sender) onAck(p *sim.Packet) {
 	if s.TraceRTT {
 		s.RTTs.Append(now, rtt.Seconds())
 	}
+	if s.RTTHist != nil {
+		s.RTTHist.Observe(rtt.Seconds() * 1e3)
+	}
 	s.Delivered.Append(now, float64(s.bytesAcked))
 
 	// Delivery rate sample (BBR-style).
@@ -333,6 +370,13 @@ func (s *Sender) onAck(p *sim.Packet) {
 		CumDelivered: s.bytesAcked,
 		RWnd:         s.rwnd,
 	})
+
+	if s.Trace != nil {
+		s.Trace.Emit(obs.Event{At: now, Type: obs.EvAck, Src: "sender",
+			Flow: int32(s.flowID), Seq: p.Seq, V1: rtt.Seconds(), V2: float64(s.bytesAcked)})
+		s.Trace.Emit(obs.Event{At: now, Type: obs.EvCwnd, Src: "sender",
+			Flow: int32(s.flowID), V1: float64(s.cc.CWnd()), V2: s.cc.PacingRate()})
+	}
 
 	s.rtoBackoff = 0
 	s.armRTO()
@@ -422,6 +466,10 @@ func (s *Sender) declareLost(seq int64, info sentInfo) {
 			s.available += int64(info.size)
 		}
 	}
+	if s.Trace != nil {
+		s.Trace.Emit(obs.Event{At: s.eng.Now(), Type: obs.EvLoss, Src: "sender",
+			Flow: int32(s.flowID), Seq: seq, V1: float64(info.size), V2: float64(s.inflightBytes)})
+	}
 	if seq >= s.recoveryUntil {
 		s.recoveryUntil = s.nextSeq
 		s.lossEvents++
@@ -459,6 +507,10 @@ func (s *Sender) onRTO() {
 		return
 	}
 	now := s.eng.Now()
+	if s.Trace != nil {
+		s.Trace.Emit(obs.Event{At: now, Type: obs.EvTimeout, Src: "sender",
+			Flow: int32(s.flowID), V1: float64(len(s.inflight)), V2: float64(s.rtoBackoff)})
+	}
 	// Declare everything outstanding lost.
 	for _, info := range s.inflight {
 		s.lostPackets++
@@ -481,6 +533,29 @@ func (s *Sender) onRTO() {
 	s.touchState()
 	s.trySend()
 	s.armRTO()
+}
+
+// RTTBucketsMs is the default RTT histogram bucketing in milliseconds.
+var RTTBucketsMs = []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
+
+// RegisterMetrics exposes the sender's counters as live gauges labeled
+// flow=<id>, and attaches a per-flow RTT histogram (milliseconds) that
+// is fed one sample per acknowledgment.
+func (s *Sender) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	label := "flow=" + strconv.Itoa(s.flowID)
+	reg.RegisterFunc("flow.bytes_sent", label, func() float64 { return float64(s.bytesSent) })
+	reg.RegisterFunc("flow.bytes_acked", label, func() float64 { return float64(s.bytesAcked) })
+	reg.RegisterFunc("flow.bytes_retrans", label, func() float64 { return float64(s.bytesRetrans) })
+	reg.RegisterFunc("flow.inflight_bytes", label, func() float64 { return float64(s.inflightBytes) })
+	reg.RegisterFunc("flow.loss_events", label, func() float64 { return float64(s.lossEvents) })
+	reg.RegisterFunc("flow.lost_packets", label, func() float64 { return float64(s.lostPackets) })
+	reg.RegisterFunc("flow.srtt_ms", label, func() float64 { return float64(s.srtt) / float64(time.Millisecond) })
+	reg.RegisterFunc("flow.min_rtt_ms", label, func() float64 { return float64(s.minRTT) / float64(time.Millisecond) })
+	reg.RegisterFunc("flow.cwnd_bytes", label, func() float64 { return float64(s.cc.CWnd()) })
+	s.RTTHist = reg.Histogram("flow.rtt_ms", label, RTTBucketsMs)
 }
 
 // Snapshot returns a TCP_INFO-style view of the sender. ThroughputBps
