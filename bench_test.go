@@ -37,9 +37,12 @@ func BenchmarkFig1Isolation(b *testing.B) {
 func BenchmarkFig2MLabPipeline(b *testing.B) {
 	var excluded, shifted float64
 	for i := 0; i < b.N; i++ {
-		res := core.RunFig2(core.Fig2Config{
+		res, err := core.RunFig2(core.Fig2Config{
 			Generator: mlab.GeneratorConfig{Flows: 9984, Seed: 1},
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 		an := res.Analysis
 		cand := an.ByCat[mlab.CatStable] + an.ByCat[mlab.CatLevelShift]
 		excluded = 1 - float64(cand)/float64(an.Total)
@@ -114,12 +117,14 @@ func BenchmarkFig3ElasticityTraced(b *testing.B) {
 func BenchmarkAblationPulse(b *testing.B) {
 	var best float64
 	for i := 0; i < b.N; i++ {
-		rows, err := core.RunPulseSweep([]float64{1, 2, 5}, []float64{0.25}, 20*time.Second)
+		res, err := core.RunPulseSweep(core.PulseSweepConfig{
+			Freqs: []float64{1, 2, 5}, Amps: []float64{0.25}, Duration: 20 * time.Second,
+		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		best = 0
-		for _, r := range rows {
+		for _, r := range res.Rows {
 			if r.Separation > best {
 				best = r.Separation
 			}
@@ -151,8 +156,13 @@ func BenchmarkAblationOracle(b *testing.B) {
 func BenchmarkAblationSubPacket(b *testing.B) {
 	var jain float64
 	for i := 0; i < b.N; i++ {
-		rows := core.RunSubPacket([]float64{256e3, 2e6}, 8, 20*time.Second)
-		jain = rows[0].Jain
+		res, err := core.RunSubPacket(core.SubPacketConfig{
+			Rates: []float64{256e3, 2e6}, Flows: 8, Duration: 20 * time.Second,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		jain = res.Rows[0].Jain
 	}
 	b.ReportMetric(jain, "jain-256kbps")
 }
@@ -163,8 +173,11 @@ func BenchmarkAblationSubPacket(b *testing.B) {
 func BenchmarkAblationJitter(b *testing.B) {
 	var jitter float64
 	for i := 0; i < b.N; i++ {
-		rows := core.RunJitter(20 * time.Second)
-		for _, r := range rows {
+		res, err := core.RunJitter(core.JitterConfig{Duration: 20 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range res.Rows {
 			if r.Shaping == "shaper" {
 				jitter = r.JitterMs
 			}
@@ -248,7 +261,10 @@ func BenchmarkExpTSLP(b *testing.B) {
 func BenchmarkExpAccess(b *testing.B) {
 	var intra, inter float64
 	for i := 0; i < b.N; i++ {
-		res := core.RunAccess(core.AccessConfig{Duration: 20 * time.Second})
+		res, err := core.RunAccess(core.AccessConfig{Duration: 20 * time.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
 		intra = float64(res.IntraUserPairs)
 		inter = float64(res.InterUserPairs)
 	}
@@ -263,11 +279,11 @@ func BenchmarkExpAccess(b *testing.B) {
 func BenchmarkAblationBuffer(b *testing.B) {
 	var sep float64
 	for i := 0; i < b.N; i++ {
-		rows, err := core.RunBufferSweep([]float64{1}, 25*time.Second)
+		res, err := core.RunBufferSweep(core.BufferSweepConfig{BDPs: []float64{1}, Duration: 25 * time.Second})
 		if err != nil {
 			b.Fatal(err)
 		}
-		sep = rows[0].Separation
+		sep = res.Rows[0].Separation
 	}
 	b.ReportMetric(sep, "separation-1bdp")
 }

@@ -2,25 +2,30 @@
 // Figure 1 isolation grid, the probe-accuracy oracle study, and the
 // ablations (pulse sweep, sub-packet regime, jitter under shaping).
 //
+// It is a thin wrapper over the scenario registry — the same
+// experiments, defaults, and numbers are available through
+// `ccac run <name>`, which also exposes the full spec flag surface.
+//
 // Usage:
 //
-//	ccabench -experiment fig1|fig2|oracle|pulse|subpkt|jitter|cellular|tslp|access
+//	ccabench -experiment fig1|fig2|oracle|pulse|buffer|subpkt|jitter|cellular|tslp|access
+//	         [-duration 30s] [-trials 30] [-seed 1]
 //	         [-trace run.jsonl] [-metrics-out metrics.csv]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
-	"time"
 
-	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 func main() {
-	exp := flag.String("experiment", "fig1", "experiment: fig1, fig2, oracle, pulse, subpkt, jitter")
+	expName := flag.String("experiment", "fig1", "experiment: fig1, fig2, oracle, pulse, buffer, subpkt, jitter, cellular, tslp, access")
 	dur := flag.Duration("duration", 0, "override scenario duration (0 = experiment default)")
 	trials := flag.Int("trials", 30, "oracle study trials")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -29,29 +34,43 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot to this file (.csv or .jsonl)")
 	flag.Parse()
 
-	// The experiments build their dumbbells internally, so the scope is
-	// installed as the package-wide fallback rather than threaded
-	// through each config.
+	exp, err := scenario.Lookup(*expName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ccabench: unknown experiment %q\n", *expName)
+		os.Exit(2)
+	}
+
+	// Start from the registered defaults (which reproduce this tool's
+	// historical per-experiment defaults — fig2 always seeded 0, oracle
+	// seeded 1, ...) and overlay only the flags the user actually set.
+	sp := exp.Defaults
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "duration":
+			sp.DurationS = dur.Seconds()
+		case "trials":
+			sp.Trials = *trials
+		case "seed":
+			sp.Seed = *seed
+		}
+	})
+
 	var (
-		reg    *obs.Registry
+		sc     *obs.Scope
 		runLog *obs.RunLogWriter
 		logF   *os.File
 	)
 	if *tracePath != "" || *metricsOut != "" {
-		reg = obs.NewRegistry()
-		sc := &obs.Scope{Reg: reg}
+		sc = obs.NewScope()
 		if *tracePath != "" {
-			var err error
 			logF, err = os.Create(*tracePath)
-			if err != nil {
-				fail(err)
-			}
+			fail(err)
 			runLog, err = obs.NewRunLogWriter(logF, obs.Manifest{
 				Tool: "ccabench",
-				Seed: *seed,
+				Seed: sp.Seed,
 				Extra: map[string]string{
-					"experiment": *exp,
-					"trials":     strconv.Itoa(*trials),
+					"experiment": *expName,
+					"trials":     strconv.Itoa(sp.Trials),
 				},
 			})
 			fail(err)
@@ -59,61 +78,24 @@ func main() {
 			tr.SetSampling(*traceSample)
 			sc.Tracer = tr
 		}
-		core.DefaultObs = sc
 	}
 
-	switch *exp {
-	case "fig1":
-		res, err := core.RunFig1(core.Fig1Config{Duration: *dur})
-		fail(err)
-		res.WriteTable(os.Stdout)
-	case "fig2":
-		res := core.RunFig2(core.Fig2Config{})
-		res.WriteReport(os.Stdout)
-	case "oracle":
-		res, err := core.RunOracle(core.OracleConfig{Trials: *trials, Duration: *dur, Seed: *seed})
-		fail(err)
-		res.WriteTable(os.Stdout)
-	case "pulse":
-		d := *dur
-		if d == 0 {
-			d = 30 * time.Second
-		}
-		rows, err := core.RunPulseSweep(nil, nil, d)
-		fail(err)
-		core.WritePulseSweep(os.Stdout, rows)
-	case "subpkt":
-		rows := core.RunSubPacket(nil, 8, *dur)
-		core.WriteSubPacket(os.Stdout, rows)
-	case "jitter":
-		rows := core.RunJitter(*dur)
-		core.WriteJitter(os.Stdout, rows)
-	case "cellular":
-		res, err := core.RunCellular(core.CellularConfig{Duration: *dur, Seed: *seed})
-		fail(err)
-		res.WriteTable(os.Stdout)
-	case "tslp":
-		res, err := core.RunTSLP(core.TSLPConfig{Duration: *dur, Seed: *seed})
-		fail(err)
-		res.WriteTable(os.Stdout)
-	case "access":
-		res := core.RunAccess(core.AccessConfig{Duration: *dur})
-		res.WriteTable(os.Stdout)
-	case "buffer":
-		rows, err := core.RunBufferSweep(nil, *dur)
-		fail(err)
-		core.WriteBufferSweep(os.Stdout, rows)
-	default:
-		fmt.Fprintf(os.Stderr, "ccabench: unknown experiment %q\n", *exp)
-		os.Exit(2)
+	res, err := exp.Run(context.Background(), sp, sc)
+	fail(err)
+	if exp.Table != nil {
+		exp.Table(os.Stdout, res)
 	}
 
 	if runLog != nil {
-		fail(runLog.Close(obs.Summary{}))
+		var sum obs.Summary
+		if s, ok := res.(interface{ Summary() obs.Summary }); ok {
+			sum = s.Summary()
+		}
+		fail(runLog.Close(sum))
 		fail(logF.Close())
 	}
 	if *metricsOut != "" {
-		fail(reg.WriteSnapshotFile(*metricsOut))
+		fail(sc.Reg.WriteSnapshotFile(*metricsOut))
 	}
 }
 

@@ -1,0 +1,366 @@
+// Command ccac is the unified entrypoint for every experiment in the
+// repro: the paper's figures, the ablations, the oracle and TSLP
+// studies, and ad-hoc contention duels, all described by declarative
+// scenario specs and executed through the internal/scenario framework.
+//
+// Usage:
+//
+//	ccac list
+//	ccac run <experiment> [-seed N] [-duration 30s] [-rate 48e6] [-rtt 100ms]
+//	         [-queue fq] [-buffer 2] [-ccas reno,bbr] [-phases reno,cbr]
+//	         [-faults wifi-bursty] [-fault-seed N] [-trials N] [-flows N]
+//	         [-users N] [-pulse HZ] [-phase 45s] [-json]
+//	         [-trace run.jsonl] [-trace-sample N] [-metrics-out metrics.csv]
+//	ccac sweep [-workers N | -seq] [-cache DIR] [-out results.json] <grid.json|->
+//
+// `run` executes one experiment from its registered defaults plus any
+// explicitly set flags and prints its table (or, with -json, the
+// canonical result record). `sweep` expands a grid file's cross
+// product into specs and executes them across a worker pool with
+// per-run observability scopes and an optional content-addressed
+// result cache; its output is a canonical JSON array, byte-identical
+// between sequential and parallel execution of the same grid.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+	switch os.Args[1] {
+	case "list":
+		cmdList(os.Stdout)
+	case "run":
+		cmdRun(os.Args[2:])
+	case "sweep":
+		cmdSweep(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "ccac: unknown command %q\n\n", os.Args[1])
+		usage(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+func usage(w io.Writer) {
+	fmt.Fprintln(w, "usage:")
+	fmt.Fprintln(w, "  ccac list                         list experiments and fault profiles")
+	fmt.Fprintln(w, "  ccac run <experiment> [flags]     run one experiment, print its table")
+	fmt.Fprintln(w, "  ccac sweep [flags] <grid.json|->  expand a grid and sweep it")
+	fmt.Fprintln(w, "run 'ccac run -h' or 'ccac sweep -h' for flags")
+}
+
+func cmdList(w io.Writer) {
+	fmt.Fprintln(w, "experiments:")
+	for _, name := range scenario.Names() {
+		exp, err := scenario.Lookup(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-10s %s\n", name, exp.Description)
+	}
+	fmt.Fprintln(w, "\nfault profiles (for -faults / fault_profile / grid fault_profiles):")
+	for _, name := range faults.Names() {
+		p, err := faults.Lookup(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(w, "  %-16s %s\n", name, p.Description)
+	}
+}
+
+// specFlags declares the shared spec-shaping flags on fs and returns a
+// closure that overlays the explicitly set ones onto a spec.
+func specFlags(fs *flag.FlagSet) func(*scenario.Spec) {
+	seed := fs.Int64("seed", 0, "workload random seed")
+	faultSeed := fs.Int64("fault-seed", 0, "fault injector random seed")
+	faultProfile := fs.String("faults", "",
+		"impair the bottleneck with a named fault profile ("+strings.Join(faults.Names(), ", ")+")")
+	duration := fs.Duration("duration", 0, "scenario duration (0 = experiment default)")
+	rate := fs.Float64("rate", 0, "link rate in bits/s")
+	rtt := fs.Duration("rtt", 0, "base round-trip time")
+	queue := fs.String("queue", "", "bottleneck queue discipline")
+	buffer := fs.Float64("buffer", 0, "bottleneck buffer in BDPs")
+	ccas := fs.String("ccas", "", "comma-separated CCA list")
+	phases := fs.String("phases", "", "comma-separated phase list (fig3)")
+	phase := fs.Duration("phase", 0, "per-phase duration (fig3)")
+	pulse := fs.Float64("pulse", 0, "pulse frequency in Hz (fig3; 0 = RTT-matched default)")
+	trials := fs.Int("trials", 0, "randomized trial count (oracle)")
+	flows := fs.Int("flows", 0, "flow count (subpkt) or dataset size (fig2)")
+	users := fs.Int("users", 0, "subscriber count (access)")
+
+	return func(sp *scenario.Spec) {
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "seed":
+				sp.Seed = *seed
+			case "fault-seed":
+				sp.FaultSeed = *faultSeed
+			case "faults":
+				sp.FaultProfile = *faultProfile
+			case "duration":
+				sp.DurationS = duration.Seconds()
+			case "rate":
+				sp.RateBps = *rate
+			case "rtt":
+				sp.RTTMs = float64(*rtt) / float64(time.Millisecond)
+			case "queue":
+				sp.Queue = *queue
+			case "buffer":
+				sp.BufferBDP = *buffer
+			case "ccas":
+				sp.CCAs = splitList(*ccas)
+			case "phases":
+				sp.Phases = splitList(*phases)
+			case "phase":
+				sp.PhaseDurationS = phase.Seconds()
+			case "pulse":
+				sp.PulseFreqHz = *pulse
+			case "trials":
+				sp.Trials = *trials
+			case "flows":
+				sp.Flows = *flows
+			case "users":
+				sp.Users = *users
+			}
+		})
+	}
+}
+
+func cmdRun(args []string) {
+	fs := flag.NewFlagSet("ccac run", flag.ExitOnError)
+	apply := specFlags(fs)
+	asJSON := fs.Bool("json", false, "print the canonical result record instead of the table")
+	tracePath := fs.String("trace", "", "write a JSONL run log (manifest + events + summary) to this file")
+	traceSample := fs.Int("trace-sample", 32, "keep 1-in-N bulk events in the trace (control events always kept)")
+	metricsOut := fs.String("metrics-out", "", "write a final metrics snapshot to this file (.csv or .jsonl)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: ccac run <experiment> [flags]")
+		fmt.Fprintln(fs.Output(), "experiments: "+strings.Join(scenario.Names(), ", "))
+		fs.PrintDefaults()
+	}
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		fs.Usage()
+		os.Exit(2)
+	}
+	name := args[0]
+	fs.Parse(args[1:])
+
+	exp, err := scenario.Lookup(name)
+	fail(err)
+	sp := exp.Defaults
+	apply(&sp)
+
+	sc, finish, err := buildScope(name, sp, *tracePath, *traceSample, *metricsOut)
+	fail(err)
+
+	res, err := exp.Run(signalContext(), sp, sc)
+	fail(err)
+	fail(finish(res))
+
+	if *asJSON {
+		raw, err := scenario.CanonicalJSON(res)
+		fail(err)
+		rec := scenario.RunResult{Spec: sp, Hash: sp.Hash(), Result: raw}
+		b, err := scenario.CanonicalJSON(rec)
+		fail(err)
+		fmt.Println(string(b))
+		return
+	}
+	if exp.Table != nil {
+		exp.Table(os.Stdout, res)
+	}
+}
+
+// buildScope assembles a run's observability scope from the -trace /
+// -metrics-out flags and returns a finish function that closes the run
+// log (with the result's summary when it provides one) and writes the
+// metrics snapshot.
+func buildScope(tool string, sp scenario.Spec, tracePath string, traceSample int, metricsOut string) (*obs.Scope, func(any) error, error) {
+	if tracePath == "" && metricsOut == "" {
+		return nil, func(any) error { return nil }, nil
+	}
+	sc := obs.NewScope()
+	var runLog *obs.RunLogWriter
+	var logF *os.File
+	if tracePath != "" {
+		var err error
+		logF, err = os.Create(tracePath)
+		if err != nil {
+			return nil, nil, err
+		}
+		runLog, err = obs.NewRunLogWriter(logF, obs.Manifest{
+			Tool:       "ccac/" + tool,
+			Seed:       sp.Seed,
+			FaultSeed:  sp.FaultSeed,
+			Profile:    sp.FaultProfile,
+			RateBps:    sp.RateBps,
+			RTTSeconds: sp.RTT().Seconds(),
+			Queue:      sp.Queue,
+			BufferBDP:  sp.BufferBDP,
+			Phases:     sp.Phases,
+			Extra:      map[string]string{"spec_hash": sp.Hash()},
+		})
+		if err != nil {
+			logF.Close()
+			return nil, nil, err
+		}
+		tr := runLog.Tracer()
+		tr.SetSampling(traceSample)
+		sc.Tracer = tr
+	}
+	finish := func(res any) error {
+		if runLog != nil {
+			var sum obs.Summary
+			if s, ok := res.(interface{ Summary() obs.Summary }); ok {
+				sum = s.Summary()
+			}
+			if err := runLog.Close(sum); err != nil {
+				return err
+			}
+			if err := logF.Close(); err != nil {
+				return err
+			}
+		}
+		if metricsOut != "" {
+			return sc.Reg.WriteSnapshotFile(metricsOut)
+		}
+		return nil
+	}
+	return sc, finish, nil
+}
+
+func cmdSweep(args []string) {
+	fs := flag.NewFlagSet("ccac sweep", flag.ExitOnError)
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	seq := fs.Bool("seq", false, "run sequentially (one worker)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory (reused across sweeps)")
+	out := fs.String("out", "", "write the canonical JSON result array here (default stdout)")
+	withObs := fs.Bool("obs", false, "give every run a private metrics registry (for debugging; off for speed)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: ccac sweep [flags] <grid.json|->")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	var gridBytes []byte
+	var err error
+	if fs.Arg(0) == "-" {
+		gridBytes, err = io.ReadAll(os.Stdin)
+	} else {
+		gridBytes, err = os.ReadFile(fs.Arg(0))
+	}
+	fail(err)
+	grid, err := scenario.ParseGrid(gridBytes)
+	fail(err)
+	specs, err := grid.Expand()
+	fail(err)
+
+	runner := &scenario.Runner{Workers: *workers}
+	if *seq {
+		runner.Workers = 1
+	}
+	if *cacheDir != "" {
+		runner.Cache, err = scenario.NewCache(*cacheDir)
+		fail(err)
+	}
+	if *withObs {
+		runner.NewScope = func(scenario.Spec) *obs.Scope { return obs.NewScope() }
+	}
+
+	start := time.Now()
+	results, err := runner.Sweep(signalContext(), specs)
+	sweepErr := err
+	elapsed := time.Since(start)
+
+	b, err := scenario.CanonicalJSON(results)
+	fail(err)
+	b = append(b, '\n')
+	if *out != "" {
+		fail(os.WriteFile(*out, b, 0o644))
+		writeSweepSummary(os.Stdout, specs, results, elapsed)
+	} else {
+		os.Stdout.Write(b)
+		writeSweepSummary(os.Stderr, specs, results, elapsed)
+	}
+	if sweepErr != nil {
+		fmt.Fprintln(os.Stderr, "ccac: sweep:", sweepErr)
+		os.Exit(1)
+	}
+	for _, r := range results {
+		if r.Err != "" {
+			os.Exit(1)
+		}
+	}
+}
+
+func writeSweepSummary(w io.Writer, specs []scenario.Spec, results []scenario.RunResult, elapsed time.Duration) {
+	cached, failed := 0, 0
+	byExp := map[string]int{}
+	for _, r := range results {
+		byExp[r.Spec.Experiment]++
+		if r.Cached {
+			cached++
+		}
+		if r.Err != "" {
+			failed++
+			fmt.Fprintf(w, "FAIL %s %s: %s\n", r.Spec.Experiment, r.Hash[:12], r.Err)
+		}
+	}
+	var exps []string
+	for e := range byExp {
+		exps = append(exps, fmt.Sprintf("%s x%d", e, byExp[e]))
+	}
+	sort.Strings(exps)
+	fmt.Fprintf(w, "sweep: %d runs (%s), %d cached, %d failed, %v wall\n",
+		len(specs), strings.Join(exps, ", "), cached, failed, elapsed.Round(time.Millisecond))
+}
+
+// signalContext cancels on SIGINT/SIGTERM so a sweep stops dispatching
+// promptly and still writes the partial result array.
+func signalContext() context.Context {
+	ctx, _ := signal.NotifyContext(context.Background(), os.Interrupt)
+	return ctx
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ccac:", err)
+		os.Exit(1)
+	}
+}

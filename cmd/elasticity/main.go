@@ -2,6 +2,9 @@
 // with mode switching disabled measures the elasticity of five kinds
 // of cross traffic taking turns on an emulated 48 Mbit/s, 100 ms link.
 //
+// It is a thin wrapper over the scenario registry's "fig3" experiment —
+// `ccac run fig3` executes the same scenario with the same defaults.
+//
 // Usage:
 //
 //	elasticity [-rate 48e6] [-rtt 100ms] [-phase 45s] [-series]
@@ -9,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -36,32 +41,44 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write a final metrics snapshot to this file (.csv or .jsonl)")
 	flag.Parse()
 
-	cfg := core.Fig3Config{
-		RateBps:       *rate,
-		OneWayDelay:   *rtt / 2,
-		PhaseDuration: *phase,
-		Phases:        strings.Split(*phases, ","),
-		Seed:          *seed,
-		FaultProfile:  *faultProfile,
-		FaultSeed:     *faultSeed,
+	sp := scenario.Spec{
+		Experiment:     "fig3",
+		Seed:           *seed,
+		RateBps:        *rate,
+		RTTMs:          float64(*rtt) / float64(time.Millisecond),
+		PhaseDurationS: phase.Seconds(),
+		Phases:         strings.Split(*phases, ","),
+		PulseFreqHz:    *pulse,
+		FaultProfile:   *faultProfile,
+		FaultSeed:      *faultSeed,
 	}
-	cfg.Nimbus.PulseFreq = *pulse
 
 	var (
-		reg    *obs.Registry
+		sc     *obs.Scope
 		runLog *obs.RunLogWriter
 		logF   *os.File
 	)
 	if *tracePath != "" || *metricsOut != "" {
-		reg = obs.NewRegistry()
-		sc := &obs.Scope{Reg: reg}
+		sc = obs.NewScope()
 		if *tracePath != "" {
 			var err error
 			logF, err = os.Create(*tracePath)
 			if err != nil {
 				fail(err)
 			}
-			runLog, err = obs.NewRunLogWriter(logF, cfg.Manifest())
+			// Reuse the core config's manifest so the run log header is
+			// unchanged from pre-registry builds of this tool.
+			mcfg := core.Fig3Config{
+				RateBps:       sp.RateBps,
+				OneWayDelay:   sp.RTT() / 2,
+				PhaseDuration: *phase,
+				Phases:        sp.Phases,
+				Seed:          sp.Seed,
+				FaultProfile:  sp.FaultProfile,
+				FaultSeed:     sp.FaultSeed,
+			}
+			mcfg.Nimbus.PulseFreq = sp.PulseFreqHz
+			runLog, err = obs.NewRunLogWriter(logF, mcfg.Manifest())
 			if err != nil {
 				fail(err)
 			}
@@ -69,13 +86,17 @@ func main() {
 			tr.SetSampling(*traceSample)
 			sc.Tracer = tr
 		}
-		cfg.Obs = sc
 	}
 
-	res, err := core.RunFig3(cfg)
+	exp, err := scenario.Lookup("fig3")
 	if err != nil {
 		fail(err)
 	}
+	v, err := exp.Run(context.Background(), sp, sc)
+	if err != nil {
+		fail(err)
+	}
+	res := v.(*core.Fig3Result)
 	if runLog != nil {
 		if err := runLog.Close(res.Summary()); err != nil {
 			fail(err)
@@ -85,7 +106,7 @@ func main() {
 		}
 	}
 	if *metricsOut != "" {
-		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
+		if err := sc.Reg.WriteSnapshotFile(*metricsOut); err != nil {
 			fail(err)
 		}
 	}

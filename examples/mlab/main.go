@@ -14,9 +14,13 @@ import (
 )
 
 func main() {
-	res := core.RunFig2(core.Fig2Config{
+	res, err := core.RunFig2(core.Fig2Config{
 		Generator: mlab.GeneratorConfig{Flows: 2000, Seed: 7},
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlab:", err)
+		os.Exit(1)
+	}
 	res.WriteReport(os.Stdout)
 
 	fmt.Println()

@@ -7,16 +7,44 @@ import (
 
 	"repro/internal/cca"
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/qdisc"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
-// PulseSweepResult holds one (frequency, amplitude) cell of the pulse
+// PulseSweepConfig parameterizes the abl-pulse ablation.
+type PulseSweepConfig struct {
+	// Freqs lists pulse frequencies in Hz (default 1, 2, 5, 10).
+	Freqs []float64
+	// Amps lists pulse amplitudes as fractions of mu (default 0.1,
+	// 0.25, 0.5).
+	Amps []float64
+	// Duration is each cell's length (default 30s).
+	Duration time.Duration
+	// Obs, when non-nil, receives every cell's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
+}
+
+func (c PulseSweepConfig) norm() PulseSweepConfig {
+	if len(c.Freqs) == 0 {
+		c.Freqs = []float64{1, 2, 5, 10}
+	}
+	if len(c.Amps) == 0 {
+		c.Amps = []float64{0.1, 0.25, 0.5}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	return c
+}
+
+// PulseSweepRow holds one (frequency, amplitude) cell of the pulse
 // ablation: elasticity separation between a Reno (elastic) and CBR
 // (inelastic) cross-traffic scenario.
-type PulseSweepResult struct {
+type PulseSweepRow struct {
 	FreqHz     float64
 	Amp        float64
 	EtaReno    float64
@@ -24,42 +52,43 @@ type PulseSweepResult struct {
 	Separation float64 // EtaReno - EtaCBR: the detector's margin
 }
 
+// PulseSweepResult is the full ablation grid.
+type PulseSweepResult struct {
+	Config PulseSweepConfig
+	Rows   []PulseSweepRow
+}
+
 // RunPulseSweep runs the abl-pulse ablation: how the pulse frequency
 // and amplitude choice affects the probe's ability to separate elastic
 // from inelastic cross traffic on the Figure 3 link. It demonstrates
 // why the pulse period must exceed the loaded RTT.
-func RunPulseSweep(freqs, amps []float64, dur time.Duration) ([]PulseSweepResult, error) {
-	if len(freqs) == 0 {
-		freqs = []float64{1, 2, 5, 10}
-	}
-	if len(amps) == 0 {
-		amps = []float64{0.1, 0.25, 0.5}
-	}
-	if dur <= 0 {
-		dur = 30 * time.Second
-	}
-	var out []PulseSweepResult
-	for _, f := range freqs {
-		for _, a := range amps {
-			etaR, err := pulseCell(f, a, "reno", dur)
+func RunPulseSweep(cfg PulseSweepConfig) (*PulseSweepResult, error) {
+	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
+	res := &PulseSweepResult{Config: cfg}
+	for _, f := range cfg.Freqs {
+		for _, a := range cfg.Amps {
+			etaR, err := pulseCell(cfg, f, a, "reno")
 			if err != nil {
 				return nil, err
 			}
-			etaC, err := pulseCell(f, a, "cbr", dur)
+			etaC, err := pulseCell(cfg, f, a, "cbr")
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, PulseSweepResult{
+			res.Rows = append(res.Rows, PulseSweepRow{
 				FreqHz: f, Amp: a, EtaReno: etaR, EtaCBR: etaC, Separation: etaR - etaC,
 			})
 		}
 	}
-	return out, nil
+	return res, nil
 }
 
-func pulseCell(freq, amp float64, cross string, dur time.Duration) (float64, error) {
+func pulseCell(cfg PulseSweepConfig, freq, amp float64, cross string) (float64, error) {
 	const rate = 48e6
-	d := NewDumbbell(LinkSpec{RateBps: rate, OneWayDelay: 50 * time.Millisecond, BufferBDP: 1})
+	d := NewDumbbell(LinkSpec{
+		RateBps: rate, OneWayDelay: 50 * time.Millisecond, BufferBDP: 1, Obs: cfg.Obs,
+	})
 	probeCC := nimbus.NewCCA(nimbus.Config{
 		Mu: rate, PulseFreq: freq, PulseAmp: amp,
 	})
@@ -73,68 +102,93 @@ func pulseCell(freq, amp float64, cross string, dur time.Duration) (float64, err
 	default:
 		return 0, fmt.Errorf("core: unknown pulse-sweep cross %q", cross)
 	}
-	f := transport.NewFlow(d.Eng, transport.FlowConfig{
-		ID: 2, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
-		ReturnDelay: d.Spec.OneWayDelay, CC: cc, Backlogged: true,
-	})
+	fc := d.FlowConfig(2, 1, cc)
+	fc.Backlogged = true
+	f := transport.NewFlow(d.Eng, fc)
 	f.Start()
-	d.Run(dur)
-	etas := probeCC.Est.Elasticity.Window(10*time.Second, dur)
+	d.Run(cfg.Duration)
+	etas := probeCC.Est.Elasticity.Window(10*time.Second, cfg.Duration)
 	if len(etas) == 0 {
 		return 0, nil
 	}
 	return stats.Mean(etas), nil
 }
 
-// WritePulseSweep renders the ablation table.
-func WritePulseSweep(w io.Writer, rows []PulseSweepResult) {
+// WriteTable renders the ablation table.
+func (r *PulseSweepResult) WriteTable(w io.Writer) {
 	fmt.Fprintln(w, "abl-pulse: elasticity separation vs pulse frequency/amplitude (48 Mbit/s, 100ms RTT)")
 	fmt.Fprintf(w, "%6s %6s %9s %8s %11s\n", "freq", "amp", "eta-reno", "eta-cbr", "separation")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%5.1fHz %6.2f %9.3f %8.3f %11.3f\n", r.FreqHz, r.Amp, r.EtaReno, r.EtaCBR, r.Separation)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%5.1fHz %6.2f %9.3f %8.3f %11.3f\n", row.FreqHz, row.Amp, row.EtaReno, row.EtaCBR, row.Separation)
 	}
 }
 
-// BufferSweepResult holds one buffer-depth cell of the abl-buffer
+// BufferSweepConfig parameterizes the abl-buffer ablation.
+type BufferSweepConfig struct {
+	// BDPs lists bottleneck buffer depths in bandwidth-delay products
+	// (default 0.5, 1, 2, 4).
+	BDPs []float64
+	// Duration is each cell's length (default 30s).
+	Duration time.Duration
+	// Obs, when non-nil, receives every cell's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
+}
+
+func (c BufferSweepConfig) norm() BufferSweepConfig {
+	if len(c.BDPs) == 0 {
+		c.BDPs = []float64{0.5, 1, 2, 4}
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	return c
+}
+
+// BufferSweepRow holds one buffer-depth cell of the abl-buffer
 // ablation: detector separation vs bottleneck buffer size.
-type BufferSweepResult struct {
+type BufferSweepRow struct {
 	BufferBDP  float64
 	EtaReno    float64
 	EtaCBR     float64
 	Separation float64
 }
 
+// BufferSweepResult is the full ablation sweep.
+type BufferSweepResult struct {
+	Config BufferSweepConfig
+	Rows   []BufferSweepRow
+}
+
 // RunBufferSweep runs the abl-buffer ablation: the probe's pulses
 // work the bottleneck queue, so the buffer depth (relative to the
 // pulse-induced swing) bounds how much elastic response can register.
 // Very shallow buffers clip the oscillation; bufferbloat dilutes it.
-func RunBufferSweep(bdps []float64, dur time.Duration) ([]BufferSweepResult, error) {
-	if len(bdps) == 0 {
-		bdps = []float64{0.5, 1, 2, 4}
-	}
-	if dur <= 0 {
-		dur = 30 * time.Second
-	}
-	var out []BufferSweepResult
-	for _, bdp := range bdps {
-		etaR, err := bufferCell(bdp, "reno", dur)
+func RunBufferSweep(cfg BufferSweepConfig) (*BufferSweepResult, error) {
+	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
+	res := &BufferSweepResult{Config: cfg}
+	for _, bdp := range cfg.BDPs {
+		etaR, err := bufferCell(cfg, bdp, "reno")
 		if err != nil {
 			return nil, err
 		}
-		etaC, err := bufferCell(bdp, "cbr", dur)
+		etaC, err := bufferCell(cfg, bdp, "cbr")
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, BufferSweepResult{
+		res.Rows = append(res.Rows, BufferSweepRow{
 			BufferBDP: bdp, EtaReno: etaR, EtaCBR: etaC, Separation: etaR - etaC,
 		})
 	}
-	return out, nil
+	return res, nil
 }
 
-func bufferCell(bdp float64, cross string, dur time.Duration) (float64, error) {
+func bufferCell(cfg BufferSweepConfig, bdp float64, cross string) (float64, error) {
 	const rate = 48e6
-	d := NewDumbbell(LinkSpec{RateBps: rate, OneWayDelay: 50 * time.Millisecond, BufferBDP: bdp})
+	d := NewDumbbell(LinkSpec{
+		RateBps: rate, OneWayDelay: 50 * time.Millisecond, BufferBDP: bdp, Obs: cfg.Obs,
+	})
 	probeCC := nimbus.NewCCA(nimbus.Config{Mu: rate, PulseFreq: 2})
 	d.AddBulk(1, 1, probeCC)
 	var cc transport.CCA
@@ -146,32 +200,57 @@ func bufferCell(bdp float64, cross string, dur time.Duration) (float64, error) {
 	default:
 		return 0, fmt.Errorf("core: unknown buffer-sweep cross %q", cross)
 	}
-	f := transport.NewFlow(d.Eng, transport.FlowConfig{
-		ID: 2, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
-		ReturnDelay: d.Spec.OneWayDelay, CC: cc, Backlogged: true,
-	})
+	fc := d.FlowConfig(2, 1, cc)
+	fc.Backlogged = true
+	f := transport.NewFlow(d.Eng, fc)
 	f.Start()
-	d.Run(dur)
-	etas := probeCC.Est.Elasticity.Window(10*time.Second, dur)
+	d.Run(cfg.Duration)
+	etas := probeCC.Est.Elasticity.Window(10*time.Second, cfg.Duration)
 	if len(etas) == 0 {
 		return 0, nil
 	}
 	return stats.Mean(etas), nil
 }
 
-// WriteBufferSweep renders the ablation table.
-func WriteBufferSweep(w io.Writer, rows []BufferSweepResult) {
+// WriteTable renders the ablation table.
+func (r *BufferSweepResult) WriteTable(w io.Writer) {
 	fmt.Fprintln(w, "abl-buffer: elasticity separation vs bottleneck buffer depth (48 Mbit/s, 100ms RTT, 2 Hz)")
 	fmt.Fprintf(w, "%8s %9s %8s %11s\n", "buffer", "eta-reno", "eta-cbr", "separation")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%5.1fBDP %9.3f %8.3f %11.3f\n", r.BufferBDP, r.EtaReno, r.EtaCBR, r.Separation)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%5.1fBDP %9.3f %8.3f %11.3f\n", row.BufferBDP, row.EtaReno, row.EtaCBR, row.Separation)
 	}
 }
 
-// SubPacketResult summarizes the abl-subpkt ablation at one link rate:
+// SubPacketConfig parameterizes the abl-subpkt ablation.
+type SubPacketConfig struct {
+	// Rates lists link rates in bits/s (default 256k, 512k, 1M, 2M).
+	Rates []float64
+	// Flows is the number of competing Reno flows (default 8).
+	Flows int
+	// Duration is each cell's length (default 20s).
+	Duration time.Duration
+	// Obs, when non-nil, receives every cell's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
+}
+
+func (c SubPacketConfig) norm() SubPacketConfig {
+	if len(c.Rates) == 0 {
+		c.Rates = []float64{256e3, 512e3, 1e6, 2e6}
+	}
+	if c.Flows <= 0 {
+		c.Flows = 8
+	}
+	if c.Duration <= 0 {
+		c.Duration = 20 * time.Second
+	}
+	return c
+}
+
+// SubPacketRow summarizes the abl-subpkt ablation at one link rate:
 // N Reno flows on a sub-packet-BDP link (Chen et al., SIGMETRICS '11 —
 // the paper's §2.3 developing-world discussion).
-type SubPacketResult struct {
+type SubPacketRow struct {
 	RateBps float64
 	Flows   int
 	// Jain is the fairness index over per-flow throughput in the
@@ -184,70 +263,88 @@ type SubPacketResult struct {
 	Timeouts int64
 }
 
+// SubPacketResult is the full ablation sweep.
+type SubPacketResult struct {
+	Config SubPacketConfig
+	Rows   []SubPacketRow
+}
+
 // RunSubPacket runs the sub-packet-regime ablation: low-rate links
 // where the per-flow BDP is below one packet produce timeout-driven
 // starvation over short timescales.
-func RunSubPacket(rates []float64, flows int, dur time.Duration) []SubPacketResult {
-	if len(rates) == 0 {
-		rates = []float64{256e3, 512e3, 1e6, 2e6}
-	}
-	if flows <= 0 {
-		flows = 8
-	}
-	if dur <= 0 {
-		dur = 20 * time.Second
-	}
-	var out []SubPacketResult
-	for _, rate := range rates {
+func RunSubPacket(cfg SubPacketConfig) (*SubPacketResult, error) {
+	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
+	res := &SubPacketResult{Config: cfg}
+	for _, rate := range cfg.Rates {
 		eng := &sim.Engine{}
 		// 200ms one-way: a long, thin path.
 		link := sim.NewLink(eng, "thin", rate, 100*time.Millisecond, qdisc.NewDropTail(8*sim.MSS))
+		wireEngineObs(cfg.Obs, eng, link)
 		var fl []*transport.Flow
-		for i := 0; i < flows; i++ {
+		for i := 0; i < cfg.Flows; i++ {
 			f := transport.NewFlow(eng, transport.FlowConfig{
 				ID: i + 1, UserID: 1, Path: []*sim.Link{link},
 				ReturnDelay: 100 * time.Millisecond,
 				CC:          cca.NewRenoCC(), Backlogged: true,
+				Trace:   cfg.Obs.T(),
+				Metrics: cfg.Obs.R(),
 			})
 			f.Start()
 			fl = append(fl, f)
 		}
-		eng.Run(dur)
+		eng.Run(cfg.Duration)
 		var tputs []float64
 		var timeouts int64
 		starved := 0
-		fair := rate / float64(flows)
+		fair := rate / float64(cfg.Flows)
 		for _, f := range fl {
-			tp := f.Throughput(dur/4, dur)
+			tp := f.Throughput(cfg.Duration/4, cfg.Duration)
 			tputs = append(tputs, tp)
 			timeouts += f.Sender.LossEvents()
 			if tp < 0.1*fair {
 				starved++
 			}
 		}
-		out = append(out, SubPacketResult{
-			RateBps: rate, Flows: flows,
+		res.Rows = append(res.Rows, SubPacketRow{
+			RateBps: rate, Flows: cfg.Flows,
 			Jain:         stats.JainIndex(tputs),
 			StarvedFlows: starved,
 			Timeouts:     timeouts,
 		})
 	}
-	return out
+	return res, nil
 }
 
-// WriteSubPacket renders the ablation table.
-func WriteSubPacket(w io.Writer, rows []SubPacketResult) {
+// WriteTable renders the ablation table.
+func (r *SubPacketResult) WriteTable(w io.Writer) {
 	fmt.Fprintln(w, "abl-subpkt: N Reno flows on sub-packet-BDP links (400ms RTT)")
 	fmt.Fprintf(w, "%12s %6s %7s %9s %9s\n", "link", "flows", "jain", "starved", "timeouts")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%12s %6d %7.3f %9d %9d\n", FmtBps(r.RateBps), r.Flows, r.Jain, r.StarvedFlows, r.Timeouts)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%12s %6d %7.3f %9d %9d\n", FmtBps(row.RateBps), row.Flows, row.Jain, row.StarvedFlows, row.Timeouts)
 	}
 }
 
-// JitterResult summarizes the abl-jitter ablation under one shaping
+// JitterConfig parameterizes the abl-jitter ablation.
+type JitterConfig struct {
+	// Duration is each cell's length (default 30s).
+	Duration time.Duration
+	// Obs, when non-nil, receives every cell's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
+}
+
+func (c JitterConfig) norm() JitterConfig {
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	return c
+}
+
+// JitterRow summarizes the abl-jitter ablation under one shaping
 // configuration: §5.2's observation that flows still contend on
 // latency/jitter even when bandwidth is isolated.
-type JitterResult struct {
+type JitterRow struct {
 	Shaping string
 	// P50, P99 of the smooth flow's per-ack RTT in milliseconds.
 	P50Ms, P99Ms float64
@@ -255,18 +352,23 @@ type JitterResult struct {
 	JitterMs float64
 }
 
+// JitterResult is the full ablation sweep.
+type JitterResult struct {
+	Config JitterConfig
+	Rows   []JitterRow
+}
+
 // RunJitter runs the jitter ablation: a smooth low-rate flow shares a
 // token-bucket-shaped queue (and, for comparison, a plain FIFO and a
 // fair queue) with a bursty on-off flow; even when average bandwidth
 // is protected, token-bucket bursts inflate the smooth flow's delay.
-func RunJitter(dur time.Duration) []JitterResult {
-	if dur <= 0 {
-		dur = 30 * time.Second
-	}
-	var out []JitterResult
+func RunJitter(cfg JitterConfig) (*JitterResult, error) {
+	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
+	res := &JitterResult{Config: cfg}
 	for _, mode := range []string{"fifo", "shaper", "fq"} {
 		const rate = 20e6
-		spec := LinkSpec{RateBps: rate, OneWayDelay: 10 * time.Millisecond, BufferBDP: 4}
+		spec := LinkSpec{RateBps: rate, OneWayDelay: 10 * time.Millisecond, BufferBDP: 4, Obs: cfg.Obs}
 		switch mode {
 		case "shaper":
 			spec.Queue = QueueShaper
@@ -279,26 +381,25 @@ func RunJitter(dur time.Duration) []JitterResult {
 		}
 		d := NewDumbbell(spec)
 		// Smooth flow: low-rate CBR stream (a live-video-like source).
-		smooth := transport.NewFlow(d.Eng, transport.FlowConfig{
-			ID: 1, UserID: 1, Path: d.FlowConfig(0, 0, nil).Path,
-			ReturnDelay: d.Spec.OneWayDelay,
-			CC:          cca.NewCBR(1e6), Backlogged: true, TraceRTT: true,
-		})
+		smoothCfg := d.FlowConfig(1, 1, cca.NewCBR(1e6))
+		smoothCfg.Backlogged = true
+		smoothCfg.TraceRTT = true
+		smooth := transport.NewFlow(d.Eng, smoothCfg)
 		smooth.Start()
 		// Bursty flow: on-off Cubic bursts.
 		burstCfg := d.FlowConfig(2, 2, cca.NewCubicCC())
 		trafficOnOff(d, burstCfg)
-		d.Run(dur)
+		d.Run(cfg.Duration)
 
-		rtts := smooth.Sender.RTTs.Window(dur/4, dur)
+		rtts := smooth.Sender.RTTs.Window(cfg.Duration/4, cfg.Duration)
 		for i := range rtts {
 			rtts[i] *= 1000 // ms
 		}
 		p50, _ := stats.Quantile(rtts, 0.5)
 		p99, _ := stats.Quantile(rtts, 0.99)
-		out = append(out, JitterResult{Shaping: mode, P50Ms: p50, P99Ms: p99, JitterMs: p99 - p50})
+		res.Rows = append(res.Rows, JitterRow{Shaping: mode, P50Ms: p50, P99Ms: p99, JitterMs: p99 - p50})
 	}
-	return out
+	return res, nil
 }
 
 func trafficOnOff(d *Dumbbell, cfg transport.FlowConfig) {
@@ -314,11 +415,29 @@ func trafficOnOff(d *Dumbbell, cfg transport.FlowConfig) {
 	d.Eng.Schedule(500*time.Millisecond, flip)
 }
 
-// WriteJitter renders the ablation table.
-func WriteJitter(w io.Writer, rows []JitterResult) {
+// WriteTable renders the ablation table.
+func (r *JitterResult) WriteTable(w io.Writer) {
 	fmt.Fprintln(w, "abl-jitter: smooth 1 Mbit/s flow sharing with a bursty flow (§5.2)")
 	fmt.Fprintf(w, "%-8s %9s %9s %10s\n", "queue", "p50-rtt", "p99-rtt", "jitter")
-	for _, r := range rows {
-		fmt.Fprintf(w, "%-8s %7.1fms %7.1fms %8.1fms\n", r.Shaping, r.P50Ms, r.P99Ms, r.JitterMs)
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-8s %7.1fms %7.1fms %8.1fms\n", row.Shaping, row.P50Ms, row.P99Ms, row.JitterMs)
+	}
+}
+
+// wireEngineObs attaches a scope's tracer and registry to an engine
+// and its links, for experiments that assemble topologies without
+// NewDumbbell.
+func wireEngineObs(sc *obs.Scope, eng *sim.Engine, links ...*sim.Link) {
+	if sc == nil {
+		return
+	}
+	if sc.R() != nil {
+		eng.RegisterMetrics(sc.R(), "")
+	}
+	for _, l := range links {
+		l.Trace = sc.T()
+		if sc.R() != nil {
+			l.RegisterMetrics(sc.R())
+		}
 	}
 }

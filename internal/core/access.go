@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/cca"
 	"repro/internal/contention"
+	"repro/internal/obs"
 	"repro/internal/qdisc"
 	"repro/internal/sim"
 	"repro/internal/transport"
@@ -28,6 +29,9 @@ type AccessConfig struct {
 	Users int
 	// Duration is the run length (default 30s).
 	Duration time.Duration
+	// Obs, when non-nil, receives the run's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
 }
 
 func (c AccessConfig) norm() AccessConfig {
@@ -64,12 +68,16 @@ type AccessResult struct {
 // overprovisioned core link — loads every user with two backlogged
 // flows (the worst case for contention), and evaluates the paper's
 // prerequisites over every flow pair plus the realized utilizations.
-func RunAccess(cfg AccessConfig) *AccessResult {
+// The error return exists for signature uniformity with the other
+// registered scenarios.
+func RunAccess(cfg AccessConfig) (*AccessResult, error) {
 	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
 	eng := &sim.Engine{}
 
 	core := sim.NewLink(eng, "core", cfg.CoreRateBps, 5*time.Millisecond,
 		qdisc.NewDropTailBDP(cfg.CoreRateBps, 30*time.Millisecond, 1))
+	wireEngineObs(cfg.Obs, eng, core)
 
 	type flowInfo struct {
 		flow *transport.Flow
@@ -80,6 +88,10 @@ func RunAccess(cfg AccessConfig) *AccessResult {
 	for u := 0; u < cfg.Users; u++ {
 		access := sim.NewLink(eng, fmt.Sprintf("access-%d", u), cfg.AccessRateBps,
 			10*time.Millisecond, qdisc.NewDropTailBDP(cfg.AccessRateBps, 30*time.Millisecond, 1))
+		access.Trace = cfg.Obs.T()
+		if cfg.Obs.R() != nil {
+			access.RegisterMetrics(cfg.Obs.R())
+		}
 		for k := 0; k < 2; k++ {
 			id := u*10 + k + 1
 			var cc transport.CCA
@@ -93,6 +105,8 @@ func RunAccess(cfg AccessConfig) *AccessResult {
 				Path:        []*sim.Link{access, core},
 				ReturnDelay: 15 * time.Millisecond,
 				CC:          cc, Backlogged: true,
+				Trace:   cfg.Obs.T(),
+				Metrics: cfg.Obs.R(),
 			})
 			f.Start()
 			flows = append(flows, flowInfo{
@@ -137,7 +151,7 @@ func RunAccess(cfg AccessConfig) *AccessResult {
 		perUser[fi.user] += fi.flow.Throughput(warm, cfg.Duration)
 	}
 	res.PerUserTputBps = perUser
-	return res
+	return res, nil
 }
 
 // WriteTable renders the outcome.

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cca"
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/qdisc"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -33,6 +34,9 @@ type CellularConfig struct {
 	CCAs []string
 	// Seed drives the fading process (same trace for every CCA).
 	Seed int64
+	// Obs, when non-nil, receives every run's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
 }
 
 func (c CellularConfig) norm() CellularConfig {
@@ -78,6 +82,7 @@ type CellularResult struct {
 // isolation means no competition) on an identical fading-rate trace.
 func RunCellular(cfg CellularConfig) (*CellularResult, error) {
 	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
 	res := &CellularResult{Config: cfg}
 	for _, name := range cfg.CCAs {
 		row, err := runCellularOne(cfg, name)
@@ -94,6 +99,7 @@ func runCellularOne(cfg CellularConfig, name string) (CellularRow, error) {
 	// Deep buffer, as cellular base stations have: 8 mean BDPs.
 	buf := int(cfg.MeanRateBps / 8 * (2 * cfg.OneWayDelay).Seconds() * 8)
 	link := sim.NewLink(eng, "cell", cfg.MeanRateBps, cfg.OneWayDelay, qdisc.NewDropTail(buf))
+	wireEngineObs(cfg.Obs, eng, link)
 	rng := rand.New(rand.NewSource(cfg.Seed + 17))
 	driver := sim.DriveRate(eng, link, 100*time.Millisecond, sim.CellularTrace(rng, cfg.MeanRateBps, cfg.Sigma))
 
@@ -110,6 +116,8 @@ func runCellularOne(cfg CellularConfig, name string) (CellularRow, error) {
 	f := transport.NewFlow(eng, transport.FlowConfig{
 		ID: 1, Path: []*sim.Link{link}, ReturnDelay: cfg.OneWayDelay,
 		CC: cc, Backlogged: true, TraceRTT: true,
+		Trace:   cfg.Obs.T(),
+		Metrics: cfg.Obs.R(),
 	})
 	f.Start()
 	eng.Run(cfg.Duration)

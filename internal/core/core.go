@@ -19,12 +19,25 @@ import (
 )
 
 // DefaultObs, when non-nil, is the observability scope scenarios fall
-// back to when their LinkSpec carries none. Command-line tools set it
-// once at startup so experiments that build their own topologies
-// internally (ccabench, the ablation benches) get traced without
-// threading a scope through every constructor. A nil scope (the
+// back to when their LinkSpec carries none. It exists for command-line
+// tools that set it exactly once at startup, before any scenario is
+// constructed; it is read a single time when a topology is normalized
+// (LinkSpec.norm) and never consulted again during a run. It must NOT
+// be mutated after the first scenario starts: parallel sweep runners
+// never touch it and instead thread a per-run *obs.Scope through every
+// config's Obs field, which always takes precedence. A nil scope (the
 // default) disables all tracing and metrics at a branch per event.
 var DefaultObs *obs.Scope
+
+// fallbackScope resolves an explicit per-run scope against the
+// CLI-set package fallback. Every Run* entry point calls this once at
+// run start so the global is read exactly once per run.
+func fallbackScope(sc *obs.Scope) *obs.Scope {
+	if sc != nil {
+		return sc
+	}
+	return DefaultObs
+}
 
 // QueueKind selects the bottleneck queue discipline.
 type QueueKind string
@@ -61,17 +74,16 @@ type LinkSpec struct {
 	Faults    *faults.Profile
 	FaultSeed int64
 	// Obs, when non-nil, receives the scenario's trace events and
-	// metrics registrations. When nil, DefaultObs applies.
-	Obs *obs.Scope
+	// metrics registrations. When nil, DefaultObs is captured once at
+	// normalization time. Excluded from JSON so declarative scenario
+	// specs and results stay serializable.
+	Obs *obs.Scope `json:"-"`
 }
 
-// scope resolves the spec's observability scope (possibly nil).
-func (s LinkSpec) scope() *obs.Scope {
-	if s.Obs != nil {
-		return s.Obs
-	}
-	return DefaultObs
-}
+// scope returns the spec's observability scope (possibly nil). The
+// DefaultObs fallback is resolved once in norm(), not here, so a run's
+// scope is fixed at construction.
+func (s LinkSpec) scope() *obs.Scope { return s.Obs }
 
 func (s LinkSpec) norm() LinkSpec {
 	if s.Queue == "" {
@@ -82,6 +94,9 @@ func (s LinkSpec) norm() LinkSpec {
 	}
 	if s.ShapeRateBps <= 0 {
 		s.ShapeRateBps = s.RateBps / 2
+	}
+	if s.Obs == nil {
+		s.Obs = DefaultObs
 	}
 	return s
 }
@@ -94,6 +109,7 @@ func (s LinkSpec) RTT() time.Duration { return 2 * s.OneWayDelay }
 // injectors are pointed at the spec's tracer so their drops and
 // activations surface in the event stream.
 func BuildQdisc(s LinkSpec) sim.Qdisc {
+	s = s.norm()
 	q := buildDiscipline(s)
 	if tr := s.scope().T(); tr != nil {
 		switch d := q.(type) {

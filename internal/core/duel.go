@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/faults"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// DuelConfig parameterizes the atomic contention cell every grid sweep
+// is built from: two named CCAs contend on one bottleneck under a
+// chosen queue discipline, optionally through a fault profile. Figure
+// 1 is a grid of these cells on a clean link; the CCA x queue x fault
+// sweeps extend the same cell across impaired paths.
+type DuelConfig struct {
+	// CCA1 and CCA2 name the contenders (see cca.New).
+	CCA1, CCA2 string
+	// RateBps is the bottleneck rate (default 48 Mbit/s).
+	RateBps float64
+	// OneWayDelay is the propagation delay (default 20ms -> 40ms RTT).
+	OneWayDelay time.Duration
+	// Queue selects the discipline (default droptail).
+	Queue QueueKind
+	// BufferBDP sizes the buffer (default 2, a bufferbloated access
+	// link).
+	BufferBDP float64
+	// ShapeRateBps is the per-user/shaper rate where the discipline
+	// uses one (default half the link).
+	ShapeRateBps float64
+	// Duration is the scenario length (default 30s).
+	Duration time.Duration
+	// WarmupFrac excludes the initial fraction from throughput
+	// averaging (default 1/3).
+	WarmupFrac float64
+	// FaultProfile, when non-empty, names a faults.Profile to impose
+	// on the bottleneck; FaultSeed drives its injectors.
+	FaultProfile string
+	FaultSeed    int64
+	// Obs, when non-nil, receives the run's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
+}
+
+func (c DuelConfig) norm() DuelConfig {
+	if c.RateBps <= 0 {
+		c.RateBps = 48e6
+	}
+	if c.Queue == "" {
+		c.Queue = QueueDropTail
+	}
+	if c.OneWayDelay <= 0 {
+		c.OneWayDelay = 20 * time.Millisecond
+	}
+	if c.BufferBDP <= 0 {
+		c.BufferBDP = 2
+	}
+	if c.Duration <= 0 {
+		c.Duration = 30 * time.Second
+	}
+	if c.WarmupFrac <= 0 || c.WarmupFrac >= 1 {
+		c.WarmupFrac = 1.0 / 3
+	}
+	return c
+}
+
+// DuelResult is one cell's outcome.
+type DuelResult struct {
+	Config DuelConfig
+	// Tput1Bps and Tput2Bps are the flows' post-warmup throughputs.
+	Tput1Bps, Tput2Bps float64
+	// Share2 is flow 2's fraction of the combined throughput.
+	Share2 float64
+	// Jain is Jain's fairness index over the two allocations.
+	Jain float64
+	// Harm1 is the harm flow 1 suffers relative to a fair half-link
+	// share.
+	Harm1 float64
+}
+
+// RunDuel executes one contention cell.
+func RunDuel(cfg DuelConfig) (*DuelResult, error) {
+	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
+	cc1, err := cca.New(cfg.CCA1)
+	if err != nil {
+		return nil, fmt.Errorf("core: duel: %w", err)
+	}
+	cc2, err := cca.New(cfg.CCA2)
+	if err != nil {
+		return nil, fmt.Errorf("core: duel: %w", err)
+	}
+	spec := LinkSpec{
+		RateBps:      cfg.RateBps,
+		OneWayDelay:  cfg.OneWayDelay,
+		Queue:        cfg.Queue,
+		BufferBDP:    cfg.BufferBDP,
+		ShapeRateBps: cfg.ShapeRateBps,
+		FaultSeed:    cfg.FaultSeed,
+		Obs:          cfg.Obs,
+	}
+	if cfg.FaultProfile != "" {
+		p, err := faults.Lookup(cfg.FaultProfile)
+		if err != nil {
+			return nil, fmt.Errorf("core: duel: %w", err)
+		}
+		spec.Faults = &p
+	}
+	d := NewDumbbell(spec)
+	f1 := d.AddBulk(1, 1, cc1)
+	f2 := d.AddBulk(2, 2, cc2)
+	d.Run(cfg.Duration)
+
+	from := time.Duration(cfg.WarmupFrac * float64(cfg.Duration))
+	t1 := f1.Throughput(from, cfg.Duration)
+	t2 := f2.Throughput(from, cfg.Duration)
+	res := &DuelResult{
+		Config:   cfg,
+		Tput1Bps: t1,
+		Tput2Bps: t2,
+		Jain:     stats.JainIndex([]float64{t1, t2}),
+		Harm1:    stats.Harm(cfg.RateBps/2, t1),
+	}
+	if total := t1 + t2; total > 0 {
+		res.Share2 = t2 / total
+	}
+	return res, nil
+}
+
+// WriteTable renders the cell.
+func (r *DuelResult) WriteTable(w io.Writer) {
+	c := r.Config
+	profile := c.FaultProfile
+	if profile == "" {
+		profile = "clean"
+	}
+	fmt.Fprintf(w, "duel: %s vs %s on a %s link (%v RTT), queue=%s, faults=%s\n",
+		c.CCA1, c.CCA2, FmtBps(c.RateBps), 2*c.OneWayDelay, string(c.Queue), profile)
+	fmt.Fprintf(w, "%-14s %12s %12s %8s %7s %7s\n",
+		"pair", "flow1", "flow2", "share2", "jain", "harm1")
+	fmt.Fprintf(w, "%-14s %12s %12s %7.1f%% %7.3f %7.3f\n",
+		c.CCA1+"/"+c.CCA2, FmtBps(r.Tput1Bps), FmtBps(r.Tput2Bps),
+		100*r.Share2, r.Jain, r.Harm1)
+}

@@ -43,7 +43,10 @@ func TestFig1IsolationShape(t *testing.T) {
 }
 
 func TestFig2PipelineShape(t *testing.T) {
-	res := RunFig2(Fig2Config{})
+	res, err := RunFig2(Fig2Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	an := res.Analysis
 	if an.Total != 9984 {
 		t.Fatalf("total = %d, want the paper's 9,984", an.Total)
@@ -83,12 +86,14 @@ func TestPulseSweepShowsFrequencyMatters(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	rows, err := RunPulseSweep([]float64{2, 10}, []float64{0.25}, 25*time.Second)
+	res, err := RunPulseSweep(PulseSweepConfig{
+		Freqs: []float64{2, 10}, Amps: []float64{0.25}, Duration: 25 * time.Second,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	var sep2, sep10 float64
-	for _, r := range rows {
+	for _, r := range res.Rows {
 		if r.FreqHz == 2 {
 			sep2 = r.Separation
 		}
@@ -109,11 +114,16 @@ func TestSubPacketRegime(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	rows := RunSubPacket([]float64{256e3, 4e6}, 8, 20*time.Second)
-	if len(rows) != 2 {
+	res, err := RunSubPacket(SubPacketConfig{
+		Rates: []float64{256e3, 4e6}, Flows: 8, Duration: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
 		t.Fatal("missing rows")
 	}
-	thin, fat := rows[0], rows[1]
+	thin, fat := res.Rows[0], res.Rows[1]
 	// The sub-packet link is much less fair than the fat one (Chen et
 	// al.'s timeout-driven starvation).
 	if thin.Jain >= fat.Jain {
@@ -128,9 +138,12 @@ func TestJitterUnderShaping(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	rows := RunJitter(25 * time.Second)
-	byMode := map[string]JitterResult{}
-	for _, r := range rows {
+	res, err := RunJitter(JitterConfig{Duration: 25 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	byMode := map[string]JitterRow{}
+	for _, r := range res.Rows {
 		byMode[r.Shaping] = r
 	}
 	// Fair queueing protects the smooth flow's delay; FIFO does not.
@@ -179,7 +192,10 @@ func TestAccessOnlyContentionPoint(t *testing.T) {
 	if testing.Short() {
 		t.Skip("long simulation")
 	}
-	res := RunAccess(AccessConfig{Duration: 20 * time.Second})
+	res, err := RunAccess(AccessConfig{Duration: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.InterUserPairs != 0 {
 		t.Errorf("inter-user contending pairs = %d, want 0 (core is provisioned)", res.InterUserPairs)
 	}

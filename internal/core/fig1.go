@@ -5,8 +5,7 @@ import (
 	"io"
 	"time"
 
-	"repro/internal/cca"
-	"repro/internal/stats"
+	"repro/internal/obs"
 )
 
 // Fig1Config parameterizes the isolation experiment: CCA pairings
@@ -31,6 +30,9 @@ type Fig1Config struct {
 	// BufferBDP sizes the buffer (default 2 — a bufferbloated access
 	// link, where BBR-vs-Reno asymmetry is pronounced).
 	BufferBDP float64
+	// Obs, when non-nil, receives every cell's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
 }
 
 func (c Fig1Config) norm() Fig1Config {
@@ -90,6 +92,7 @@ type Fig1Result struct {
 // allocation, while FIFO queues let aggressive CCAs dominate.
 func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
 	res := &Fig1Result{Config: cfg}
 	for _, pair := range cfg.Pairs {
 		for _, q := range cfg.Queues {
@@ -103,46 +106,35 @@ func RunFig1(cfg Fig1Config) (*Fig1Result, error) {
 	return res, nil
 }
 
+// runFig1Cell is a thin wrapper over the shared duel cell: Figure 1 is
+// a CCA-pair x queue grid of duels on a clean link.
 func runFig1Cell(cfg Fig1Config, pair [2]string, q QueueKind) (Fig1Row, error) {
-	cc1, err := cca.New(pair[0])
-	if err != nil {
-		return Fig1Row{}, err
-	}
-	cc2, err := cca.New(pair[1])
-	if err != nil {
-		return Fig1Row{}, err
-	}
-	spec := LinkSpec{
+	dc := DuelConfig{
+		CCA1:        pair[0],
+		CCA2:        pair[1],
 		RateBps:     cfg.RateBps,
 		OneWayDelay: cfg.OneWayDelay,
 		Queue:       q,
 		BufferBDP:   cfg.BufferBDP,
+		Duration:    cfg.Duration,
+		WarmupFrac:  cfg.WarmupFrac,
+		Obs:         cfg.Obs,
 	}
 	if q == QueueUserIso {
 		// Each flow is a distinct subscriber capped at half the link:
 		// throttling to the purchased rate plus isolation.
-		spec.ShapeRateBps = cfg.RateBps / 2
+		dc.ShapeRateBps = cfg.RateBps / 2
 	}
-	d := NewDumbbell(spec)
-	f1 := d.AddBulk(1, 1, cc1)
-	f2 := d.AddBulk(2, 2, cc2)
-	d.Run(cfg.Duration)
-
-	from := time.Duration(cfg.WarmupFrac * float64(cfg.Duration))
-	t1 := f1.Throughput(from, cfg.Duration)
-	t2 := f2.Throughput(from, cfg.Duration)
-	total := t1 + t2
-	share2 := 0.0
-	if total > 0 {
-		share2 = t2 / total
+	res, err := RunDuel(dc)
+	if err != nil {
+		return Fig1Row{}, err
 	}
-	fair := cfg.RateBps / 2
 	return Fig1Row{
 		CCA1: pair[0], CCA2: pair[1], Queue: q,
-		Tput1Bps: t1, Tput2Bps: t2,
-		Share2: share2,
-		Jain:   stats.JainIndex([]float64{t1, t2}),
-		Harm1:  stats.Harm(fair, t1),
+		Tput1Bps: res.Tput1Bps, Tput2Bps: res.Tput2Bps,
+		Share2: res.Share2,
+		Jain:   res.Jain,
+		Harm1:  res.Harm1,
 	}, nil
 }
 

@@ -26,11 +26,13 @@ type Fig2Result struct {
 // RunFig2 generates the synthetic NDT dataset and runs the paper's
 // §3.1 pipeline over it: filter application-limited, receiver-limited,
 // and cellular flows, then search the remainder's throughput traces
-// for level shifts.
-func RunFig2(cfg Fig2Config) *Fig2Result {
+// for level shifts. The error return exists for signature uniformity
+// with the other registered scenarios (the pipeline itself cannot
+// fail) and to leave room for dataset-loading variants.
+func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
 	recs := mlab.Generate(cfg.Generator)
 	an := mlab.Analyze(recs, cfg.Analysis)
-	return &Fig2Result{Config: cfg, Analysis: an, Validation: an.Validate()}
+	return &Fig2Result{Config: cfg, Analysis: an, Validation: an.Validate()}, nil
 }
 
 // AnalyzeFig2 runs the pipeline over an existing dataset (e.g. loaded

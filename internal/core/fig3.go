@@ -46,7 +46,7 @@ type Fig3Config struct {
 	FaultSeed    int64
 	// Obs, when non-nil, receives the run's trace events and metric
 	// registrations (probe flow, cross flows, link, AQM, faults).
-	Obs *obs.Scope
+	Obs *obs.Scope `json:"-"`
 }
 
 func (c Fig3Config) norm() Fig3Config {
@@ -117,6 +117,7 @@ type Fig3Result struct {
 // stops at phase boundaries.
 func RunFig3(cfg Fig3Config) (*Fig3Result, error) {
 	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
 	spec := LinkSpec{
 		RateBps:     cfg.RateBps,
 		OneWayDelay: cfg.OneWayDelay,

@@ -9,6 +9,7 @@ import (
 	"repro/internal/cca"
 	"repro/internal/contention"
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 	"repro/internal/transport"
 )
@@ -25,6 +26,9 @@ type OracleConfig struct {
 	Duration time.Duration
 	// Seed drives scenario randomization.
 	Seed int64
+	// Obs, when non-nil, receives every trial's trace events and
+	// metric registrations.
+	Obs *obs.Scope `json:"-"`
 }
 
 func (c OracleConfig) norm() OracleConfig {
@@ -63,6 +67,7 @@ type OracleResult struct {
 // RunOracle executes the study.
 func RunOracle(cfg OracleConfig) (*OracleResult, error) {
 	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	res := &OracleResult{Config: cfg}
 
@@ -82,7 +87,7 @@ func RunOracle(cfg OracleConfig) (*OracleResult, error) {
 }
 
 func runOracleTrial(cfg OracleConfig, seed int64, kind string, rate float64, owd time.Duration) (OracleTrial, error) {
-	d := NewDumbbell(LinkSpec{RateBps: rate, OneWayDelay: owd, Queue: QueueDropTail, BufferBDP: 1})
+	d := NewDumbbell(LinkSpec{RateBps: rate, OneWayDelay: owd, Queue: QueueDropTail, BufferBDP: 1, Obs: cfg.Obs})
 	rng := rand.New(rand.NewSource(seed))
 
 	ncfg := nimbus.Config{Mu: rate, PulseFreq: 2}

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/cca"
 	"repro/internal/nimbus"
+	"repro/internal/obs"
 	"repro/internal/stats"
 	"repro/internal/traffic"
 	"repro/internal/transport"
@@ -29,6 +30,9 @@ type TSLPConfig struct {
 	Duration time.Duration
 	// Seed drives workload randomness.
 	Seed int64
+	// Obs, when non-nil, receives every scenario's trace events and
+	// metric registrations.
+	Obs *obs.Scope `json:"-"`
 }
 
 func (c TSLPConfig) norm() TSLPConfig {
@@ -75,6 +79,7 @@ type TSLPResult struct {
 // RunTSLP executes the comparison.
 func RunTSLP(cfg TSLPConfig) (*TSLPResult, error) {
 	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
 	res := &TSLPResult{Config: cfg}
 	for _, sc := range []string{"contention", "aggregate", "idle"} {
 		row, err := runTSLPScenario(cfg, sc)
@@ -138,7 +143,7 @@ func runTSLPScenario(cfg TSLPConfig, scenario string) (TSLPRow, error) {
 	warm := cfg.Duration / 4
 
 	// Instrument 1: TSLP alone with the scenario traffic.
-	d1 := NewDumbbell(LinkSpec{RateBps: cfg.RateBps, OneWayDelay: cfg.OneWayDelay, BufferBDP: 1})
+	d1 := NewDumbbell(LinkSpec{RateBps: cfg.RateBps, OneWayDelay: cfg.OneWayDelay, BufferBDP: 1, Obs: cfg.Obs})
 	truth, err := addTSLPScenarioTraffic(d1, cfg, scenario, cfg.Seed)
 	if err != nil {
 		return row, err
@@ -151,7 +156,7 @@ func runTSLPScenario(cfg TSLPConfig, scenario string) (TSLPRow, error) {
 	row.TSLPP90Ms = v.P90Ms
 
 	// Instrument 2: the active elasticity probe with the same traffic.
-	d2 := NewDumbbell(LinkSpec{RateBps: cfg.RateBps, OneWayDelay: cfg.OneWayDelay, BufferBDP: 1})
+	d2 := NewDumbbell(LinkSpec{RateBps: cfg.RateBps, OneWayDelay: cfg.OneWayDelay, BufferBDP: 1, Obs: cfg.Obs})
 	if _, err := addTSLPScenarioTraffic(d2, cfg, scenario, cfg.Seed); err != nil {
 		return row, err
 	}

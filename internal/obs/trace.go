@@ -375,6 +375,12 @@ type Scope struct {
 	Tracer Tracer
 }
 
+// NewScope returns a scope with a fresh registry and no tracer: the
+// unit of per-run isolation. Parallel sweeps hand every run its own
+// scope from here (or from a caller-supplied factory) so concurrent
+// runs never share metric or trace state.
+func NewScope() *Scope { return &Scope{Reg: NewRegistry()} }
+
 // T returns the scope's tracer, or nil.
 func (s *Scope) T() Tracer {
 	if s == nil {

@@ -1,0 +1,59 @@
+package scenario
+
+import (
+	"context"
+	"testing"
+)
+
+// fig3Grid is the benchmark workload: a fig3-style seed sweep of the
+// Nimbus elasticity scenario with shortened phases, the shape of grid
+// the paper's sensitivity studies run.
+func fig3Grid(b *testing.B) []Spec {
+	b.Helper()
+	g := Grid{
+		Base: Spec{
+			Experiment:     "fig3",
+			RateBps:        48e6,
+			RTTMs:          100,
+			PhaseDurationS: 5,
+			Phases:         []string{"reno", "cbr"},
+			FaultSeed:      1,
+		},
+		Seeds: []int64{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return specs
+}
+
+// BenchmarkSweep compares sequential and 4-worker execution of the
+// same fig3-style grid. The runs are independent single-threaded
+// simulations, so the parallel variant should cut wall-clock time by
+// about the worker count on idle 4-core hardware; the acceptance bar
+// is >=2x:
+//
+//	go test -bench Sweep -benchtime 1x ./internal/scenario
+func BenchmarkSweep(b *testing.B) {
+	specs := fig3Grid(b)
+	bench := func(workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			r := &Runner{Workers: workers}
+			for i := 0; i < b.N; i++ {
+				results, err := r.Sweep(context.Background(), specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Err != "" {
+						b.Fatal(res.Err)
+					}
+				}
+			}
+			b.ReportMetric(float64(len(specs)), "runs/sweep")
+		}
+	}
+	b.Run("sequential", bench(1))
+	b.Run("workers4", bench(4))
+}

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// duelGrid is the CCA x queue x fault grid the acceptance sweep runs:
+// every point is a real two-flow simulation through the full qdisc and
+// fault stack.
+func duelGrid(t *testing.T) []Spec {
+	t.Helper()
+	g := Grid{
+		Base:          Spec{Experiment: "duel", DurationS: 2, Seed: 1},
+		Pairs:         [][2]string{{"reno", "bbr"}, {"reno", "cubic"}},
+		Queues:        []string{"droptail", "fq"},
+		FaultProfiles: []string{"clean", "wifi-bursty"},
+		DeriveSeeds:   true,
+	}
+	specs, err := g.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return specs
+}
+
+// TestSweepDeterminism is the golden guarantee: the same specs run
+// sequentially and across a 4-worker pool produce byte-identical
+// canonical results, slot by slot and as a whole array.
+func TestSweepDeterminism(t *testing.T) {
+	specs := duelGrid(t)
+
+	seqR := &Runner{Workers: 1}
+	seq, err := seqR.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parR := &Runner{Workers: 4}
+	par, err := parR.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := range specs {
+		if seq[i].Err != "" {
+			t.Fatalf("sequential run %d failed: %s", i, seq[i].Err)
+		}
+		if par[i].Err != "" {
+			t.Fatalf("parallel run %d failed: %s", i, par[i].Err)
+		}
+		if !bytes.Equal(seq[i].Result, par[i].Result) {
+			t.Errorf("run %d (%s) diverged:\nseq: %s\npar: %s",
+				i, seq[i].Hash[:12], seq[i].Result, par[i].Result)
+		}
+		if seq[i].Hash != par[i].Hash {
+			t.Errorf("run %d hash diverged", i)
+		}
+	}
+
+	a, err := CanonicalJSON(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CanonicalJSON(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("sweep arrays serialize differently")
+	}
+}
+
+// TestSweepDeterminismWithScopes re-runs the parallel sweep with
+// per-run observability scopes: private metric registries must not
+// perturb results (they are excluded from canonical encoding), and
+// distinct scopes mean the race detector sees no sharing.
+func TestSweepDeterminismWithScopes(t *testing.T) {
+	specs := duelGrid(t)
+
+	plain := &Runner{Workers: 4}
+	base, err := plain.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scoped := &Runner{Workers: 4, NewScope: func(Spec) *obs.Scope { return obs.NewScope() }}
+	withObs, err := scoped.Sweep(context.Background(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		if !bytes.Equal(base[i].Result, withObs[i].Result) {
+			t.Fatalf("run %d: observability changed the result", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/faults"
+)
+
+// Grid declares a sweep: a base spec plus axes whose cross product
+// expands into one spec per point. Empty axes leave the base value in
+// place. Expansion order is fixed (pairs/ccas, then queues, then fault
+// profiles, then seeds), so the expanded list — and therefore the
+// sweep's result ordering — is stable across runs and machines.
+type Grid struct {
+	// Base is the spec every point starts from; Base.Experiment names
+	// the experiment.
+	Base Spec `json:"base"`
+	// CCAs varies a single controller (sets the point's ccas to [c]).
+	// Mutually exclusive with Pairs.
+	CCAs []string `json:"ccas,omitempty"`
+	// Pairs varies a CCA pairing (sets the point's ccas to the pair).
+	Pairs [][2]string `json:"pairs,omitempty"`
+	// Queues varies the bottleneck discipline.
+	Queues []string `json:"queues,omitempty"`
+	// FaultProfiles varies the impairment profile ("clean" for none —
+	// the registered clean profile keeps the axis uniform).
+	FaultProfiles []string `json:"fault_profiles,omitempty"`
+	// Seeds varies the workload seed.
+	Seeds []int64 `json:"seeds,omitempty"`
+	// DeriveSeeds, when set, gives every point its own seed derived
+	// from (base seed, point axes) — deterministic, independent of
+	// expansion order, and distinct across points — and, for points
+	// with a fault profile but no explicit fault seed, a fault seed
+	// derived the same way. Use it when every grid point should see an
+	// independent random stream without enumerating seeds by hand.
+	DeriveSeeds bool `json:"derive_seeds,omitempty"`
+}
+
+// ParseGrid decodes a grid file, rejecting unknown fields so a typo'd
+// axis name fails loudly instead of silently sweeping nothing.
+func ParseGrid(b []byte) (Grid, error) {
+	var g Grid
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&g); err != nil {
+		return Grid{}, fmt.Errorf("scenario: parse grid: %w", err)
+	}
+	return g, nil
+}
+
+// Expand returns the grid's specs in canonical order.
+func (g Grid) Expand() ([]Spec, error) {
+	if g.Base.Experiment == "" {
+		return nil, fmt.Errorf("scenario: grid has no base.experiment")
+	}
+	if len(g.CCAs) > 0 && len(g.Pairs) > 0 {
+		return nil, fmt.Errorf("scenario: grid sets both ccas and pairs axes")
+	}
+
+	// Each axis contributes a list of (label, mutation) choices; an
+	// empty axis contributes the identity.
+	type choice struct {
+		label string
+		apply func(*Spec)
+	}
+	axis := func(cs []choice) []choice {
+		if len(cs) == 0 {
+			return []choice{{}}
+		}
+		return cs
+	}
+
+	var ccaAxis []choice
+	for _, c := range g.CCAs {
+		c := c
+		ccaAxis = append(ccaAxis, choice{
+			label: "cca=" + c,
+			apply: func(sp *Spec) { sp.CCAs = []string{c} },
+		})
+	}
+	for _, p := range g.Pairs {
+		p := p
+		ccaAxis = append(ccaAxis, choice{
+			label: "pair=" + p[0] + "/" + p[1],
+			apply: func(sp *Spec) { sp.CCAs = []string{p[0], p[1]} },
+		})
+	}
+	var queueAxis []choice
+	for _, q := range g.Queues {
+		q := q
+		queueAxis = append(queueAxis, choice{
+			label: "queue=" + q,
+			apply: func(sp *Spec) { sp.Queue = q },
+		})
+	}
+	var faultAxis []choice
+	for _, f := range g.FaultProfiles {
+		f := f
+		faultAxis = append(faultAxis, choice{
+			label: "faults=" + f,
+			apply: func(sp *Spec) {
+				if f == "clean" {
+					sp.FaultProfile = ""
+					return
+				}
+				sp.FaultProfile = f
+			},
+		})
+	}
+	var seedAxis []choice
+	for _, s := range g.Seeds {
+		s := s
+		seedAxis = append(seedAxis, choice{
+			label: fmt.Sprintf("seed=%d", s),
+			apply: func(sp *Spec) { sp.Seed = s },
+		})
+	}
+
+	var specs []Spec
+	for _, c1 := range axis(ccaAxis) {
+		for _, c2 := range axis(queueAxis) {
+			for _, c3 := range axis(faultAxis) {
+				for _, c4 := range axis(seedAxis) {
+					sp := g.Base
+					key := ""
+					for _, c := range []choice{c1, c2, c3, c4} {
+						if c.apply != nil {
+							c.apply(&sp)
+							key += c.label + ";"
+						}
+					}
+					if g.DeriveSeeds {
+						sp.Seed = faults.DeriveSeed(g.Base.Seed, "point:"+key)
+						if sp.FaultProfile != "" && sp.FaultSeed == 0 {
+							sp.FaultSeed = faults.DeriveSeed(sp.Seed, "fault")
+						}
+					}
+					specs = append(specs, sp)
+				}
+			}
+		}
+	}
+	return specs, nil
+}

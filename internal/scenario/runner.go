@@ -1,0 +1,154 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// RunResult is one spec's outcome in a sweep. Result holds the
+// canonical JSON encoding of the experiment's result value — the bytes
+// compared by the determinism tests and stored in the cache — so two
+// RunResults for the same spec are equal iff their Result bytes are.
+// Exactly one of Result and Err is set.
+type RunResult struct {
+	Spec   Spec            `json:"spec"`
+	Hash   string          `json:"hash"`
+	Result json.RawMessage `json:"result,omitempty"`
+	Err    string          `json:"error,omitempty"`
+
+	// Cached reports whether the result came from the cache without
+	// re-execution. Excluded from JSON so cached and fresh sweeps
+	// serialize identically.
+	Cached bool `json:"-"`
+	// Elapsed is the run's wall-clock time (zero on cache hits).
+	// Excluded from JSON for the same reason.
+	Elapsed time.Duration `json:"-"`
+
+	value any
+}
+
+// Value returns the live result object Run produced, for table
+// rendering. It is nil on cache hits and failures: cached results
+// exist only as canonical JSON.
+func (r RunResult) Value() any { return r.value }
+
+// Runner executes specs — singly or as sweeps across a worker pool.
+// The zero value runs sequentially with no cache; it is ready to use.
+type Runner struct {
+	// Workers is the pool size for Sweep (<=0 means GOMAXPROCS). One
+	// worker reproduces a sequential run exactly: results are keyed to
+	// input order, never completion order, and runs never share state.
+	Workers int
+	// Cache, when non-nil, short-circuits specs whose hash already has
+	// a stored result and stores new successes. Cache write failures
+	// do not fail the run (the cache is an optimization); read
+	// failures degrade to recomputation.
+	Cache *Cache
+	// NewScope, when non-nil, supplies each run's private
+	// observability scope. Nil leaves runs unobserved (the fast path).
+	// The function is called from worker goroutines and must be safe
+	// for concurrent use; the scopes it returns must be distinct per
+	// call — runs must never share metric registries or tracers.
+	NewScope func(Spec) *obs.Scope
+}
+
+func (r *Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes a single spec through the registry, bypassing the
+// cache.
+func (r *Runner) Run(ctx context.Context, sp Spec) RunResult {
+	return r.runOne(ctx, sp, false)
+}
+
+// Sweep executes every spec across the worker pool and returns results
+// in input order regardless of completion order. A failing run records
+// its error in its slot and does not stop the sweep. When ctx is
+// cancelled, workers stop picking up new specs promptly (in-flight
+// simulations finish — the event loop is not interruptible), unstarted
+// slots carry the context error, and Sweep returns ctx.Err().
+func (r *Runner) Sweep(ctx context.Context, specs []Spec) ([]RunResult, error) {
+	results := make([]RunResult, len(specs))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < r.workers(); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i] = r.runOne(ctx, specs[i], true)
+			}
+		}()
+	}
+dispatch:
+	for i := range specs {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		for i := range results {
+			if results[i].Hash == "" {
+				results[i] = RunResult{Spec: specs[i], Hash: specs[i].Hash(), Err: err.Error()}
+			}
+		}
+		return results, err
+	}
+	return results, nil
+}
+
+func (r *Runner) runOne(ctx context.Context, sp Spec, useCache bool) RunResult {
+	res := RunResult{Spec: sp, Hash: sp.Hash()}
+	if err := ctx.Err(); err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	if useCache {
+		if raw, ok := r.Cache.Get(res.Hash); ok {
+			res.Result = raw
+			res.Cached = true
+			return res
+		}
+	}
+	exp, err := Lookup(sp.Experiment)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	var sc *obs.Scope
+	if r.NewScope != nil {
+		sc = r.NewScope(sp)
+	}
+	start := time.Now()
+	v, err := exp.Run(ctx, sp, sc)
+	res.Elapsed = time.Since(start)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	raw, err := CanonicalJSON(v)
+	if err != nil {
+		res.Err = err.Error()
+		return res
+	}
+	res.Result = raw
+	res.value = v
+	if useCache {
+		// Best-effort: a failed write only costs a future recompute.
+		_ = r.Cache.Put(sp, res.Hash, raw)
+	}
+	return res
+}

@@ -1,0 +1,122 @@
+// Package scenario is the declarative experiment layer: every workload
+// in the repro — the paper's figures, the ablations, the oracle and
+// TSLP studies, and ad-hoc contention duels — is described by a Spec,
+// registered under a name, and executed through a Runner that sweeps
+// grids of specs across a worker pool with per-run observability
+// scopes, derived seeds, and a content-addressed result cache.
+//
+// The package guarantees byte-level reproducibility: a Spec has a
+// canonical JSON encoding and a stable content hash, every registered
+// experiment is deterministic given the spec's seeds, and results are
+// themselves canonically encoded — so a parallel sweep produces
+// results byte-identical to a sequential run of the same specs, and a
+// cached result is indistinguishable from a fresh one.
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"crypto/sha256"
+)
+
+// Spec declares one experiment run: which named experiment, on what
+// link, with what flows, traffic phases, faults, duration, and seeds.
+// It is the union of the knobs the registered experiments consume;
+// each experiment documents (and validates) the fields it reads.
+// Unused fields are simply ignored by experiments that have no meaning
+// for them, which keeps grid expansion uniform.
+//
+// Durations are expressed in float seconds and rates in bits/s so
+// specs read naturally as JSON.
+type Spec struct {
+	// Experiment names the registered experiment to run (see Names).
+	Experiment string `json:"experiment"`
+	// Seed drives workload randomness.
+	Seed int64 `json:"seed,omitempty"`
+	// DurationS overrides the experiment's scenario duration.
+	DurationS float64 `json:"duration_s,omitempty"`
+	// RateBps and RTTMs describe the bottleneck link.
+	RateBps float64 `json:"rate_bps,omitempty"`
+	RTTMs   float64 `json:"rtt_ms,omitempty"`
+	// Queue selects the bottleneck discipline (core.QueueKind values).
+	Queue string `json:"queue,omitempty"`
+	// BufferBDP sizes the bottleneck buffer.
+	BufferBDP float64 `json:"buffer_bdp,omitempty"`
+	// CCAs lists congestion controllers: the two contenders for duel,
+	// the comparison set for cellular.
+	CCAs []string `json:"ccas,omitempty"`
+	// Pairs lists CCA pairings (fig1).
+	Pairs [][2]string `json:"pairs,omitempty"`
+	// Queues lists disciplines to compare (fig1).
+	Queues []string `json:"queues,omitempty"`
+	// Phases lists cross-traffic phases in order (fig3);
+	// PhaseDurationS is each phase's length.
+	Phases         []string `json:"phases,omitempty"`
+	PhaseDurationS float64  `json:"phase_duration_s,omitempty"`
+	// PulseFreqHz overrides the probe's pulse frequency (fig3);
+	// PulseFreqsHz/PulseAmps are the abl-pulse sweep axes.
+	PulseFreqHz  float64   `json:"pulse_freq_hz,omitempty"`
+	PulseFreqsHz []float64 `json:"pulse_freqs_hz,omitempty"`
+	PulseAmps    []float64 `json:"pulse_amps,omitempty"`
+	// BufferBDPs is the abl-buffer sweep axis.
+	BufferBDPs []float64 `json:"buffer_bdps,omitempty"`
+	// RatesBps is the abl-subpkt sweep axis.
+	RatesBps []float64 `json:"rates_bps,omitempty"`
+	// Flows is the flow count (abl-subpkt) or dataset size (fig2).
+	Flows int `json:"flows,omitempty"`
+	// Trials is the randomized-trial count (oracle).
+	Trials int `json:"trials,omitempty"`
+	// Users is the subscriber count (access).
+	Users int `json:"users,omitempty"`
+	// FaultProfile names a faults.Profile to impose on the bottleneck;
+	// FaultSeed drives its injectors.
+	FaultProfile string `json:"fault_profile,omitempty"`
+	FaultSeed    int64  `json:"fault_seed,omitempty"`
+}
+
+// Duration converts DurationS, or returns 0 when unset.
+func (s Spec) Duration() time.Duration {
+	return time.Duration(s.DurationS * float64(time.Second))
+}
+
+// RTT converts RTTMs, or returns 0 when unset.
+func (s Spec) RTT() time.Duration {
+	return time.Duration(s.RTTMs * float64(time.Millisecond))
+}
+
+// CanonicalJSON returns the deterministic JSON encoding used for
+// hashing, caching, and result diffing: encoding/json's stable output
+// (struct fields in declaration order, map keys sorted) with HTML
+// escaping disabled and no trailing newline. Two equal values always
+// produce identical bytes.
+func CanonicalJSON(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(v); err != nil {
+		return nil, fmt.Errorf("scenario: canonical encode: %w", err)
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// specHashDomain versions the hash input so cache entries from
+// incompatible spec schemas can never collide with current ones.
+const specHashDomain = "ccac/spec/v1\n"
+
+// Hash returns the spec's stable content hash: a hex-encoded SHA-256
+// over a domain-separation tag plus the canonical JSON encoding. Specs
+// that differ only in an omitted-vs-zero field hash identically
+// (omitempty drops both); specs with any semantic difference hash
+// differently.
+func (s Spec) Hash() string {
+	b, err := CanonicalJSON(s)
+	if err != nil {
+		// Spec is a plain data struct; canonical encoding cannot fail.
+		panic(err)
+	}
+	sum := sha256.Sum256(append([]byte(specHashDomain), b...))
+	return fmt.Sprintf("%x", sum)
+}
