@@ -188,8 +188,9 @@ func NewDuplicator(inner sim.Qdisc, p float64, seed int64) *Duplicator {
 func (d *Duplicator) Enqueue(p *sim.Packet, now time.Duration) bool {
 	ok := d.inner.Enqueue(p, now)
 	if ok && d.rng.Float64() < d.p {
-		cp := *p
-		if d.inner.Enqueue(&cp, now) {
+		// Clone detaches the copy from the packet pool: only the
+		// original may ever be recycled through Release.
+		if d.inner.Enqueue(p.Clone(), now) {
 			d.Duplicated++
 		}
 	}

@@ -69,13 +69,16 @@ func (c *CoDel) pop(now time.Duration) (*sim.Packet, time.Duration, bool) {
 	return p, now - at, true
 }
 
-// markDrop accounts one AQM drop and traces it.
+// markDrop accounts one AQM drop, traces it, and recycles the packet:
+// a dequeue-time drop is the packet's terminal consumption point (the
+// owning link never sees it again).
 func (c *CoDel) markDrop(p *sim.Packet, sojourn, now time.Duration) {
 	c.Dropped++
 	if c.Trace != nil {
 		c.Trace.Emit(obs.Event{At: now, Type: obs.EvMark, Src: "codel",
 			Flow: int32(p.FlowID), Seq: p.Seq, V1: float64(p.Size), V2: sojourn.Seconds(), Note: "aqm_drop"})
 	}
+	p.Release()
 }
 
 // okToDrop updates the first-above-target tracking for one head

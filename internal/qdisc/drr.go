@@ -121,6 +121,9 @@ func (d *DRR) dropHead(c *drrClass) {
 	d.bytes -= p.Size
 	d.pkts--
 	d.Dropped++
+	// Internal eviction: the link never sees this packet again, so the
+	// qdisc is its terminal consumer.
+	p.Release()
 }
 
 // Dequeue implements sim.Qdisc.

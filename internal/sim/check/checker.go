@@ -1,0 +1,183 @@
+package check
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// maxViolations bounds how many violations a Checker records before it
+// stops collecting; a broken engine would otherwise bury the first
+// (most useful) error under millions of repeats.
+const maxViolations = 16
+
+// Checker validates engine-level invariants while a simulation runs.
+// It implements sim.Hook; install it with Attach and interrogate it
+// with Err after the run. All checks are synchronous and allocation
+// is confined to the checker itself, so a checked run exercises the
+// exact same engine code paths as a production run.
+//
+// Invariants enforced:
+//
+//   - Monotone clock: events fire at non-decreasing virtual times.
+//   - FIFO tie-break: events firing at the same instant fire in
+//     strictly increasing schedule (seq) order.
+//   - Schedule clamping: no event is scheduled into the past.
+//   - Pool hygiene: a pooled packet is never handed out while still
+//     live (double alloc), never freed while not live (double free),
+//     and never freed under a generation different from the one it was
+//     allocated with (use-after-free of a recycled packet).
+//   - Link conservation: every packet a link accepted is accounted for
+//     as sent, dropped by the AQM, still queued, or in serialization
+//     (checked by VerifyLinks, at most one packet in service).
+//   - Queue occupancy bounds: a watched link's queue never reports
+//     negative occupancy nor exceeds its configured byte bound.
+type Checker struct {
+	errs []error
+
+	// Event-order state.
+	fired        bool
+	lastAt       time.Duration
+	lastSeq      int64
+	lastSchedule time.Duration
+
+	// Pool state.
+	live     map[*sim.Packet]uint32
+	allocs   int64
+	frees    int64
+	maxLive  int
+	liveNow  int
+	links    []linkWatch
+	checkOcc bool
+}
+
+type linkWatch struct {
+	l *sim.Link
+	// aqmDrops reports packets the qdisc consumed internally (CoDel
+	// dequeue drops, DRR head evictions); nil means none possible.
+	aqmDrops func() int64
+	// capBytes bounds Q.Bytes() when positive.
+	capBytes int
+}
+
+// Attach installs a fresh Checker as the engine's hook and returns it.
+// The previous hook, if any, is replaced.
+func Attach(eng *sim.Engine) *Checker {
+	c := &Checker{live: make(map[*sim.Packet]uint32)}
+	eng.SetHook(c)
+	return c
+}
+
+// WatchLink adds a link to the conservation and occupancy checks.
+// aqmDrops, when non-nil, must return the cumulative count of packets
+// the link's qdisc consumed internally; capBytes, when positive,
+// bounds the queue's byte occupancy. Conservation assumes the qdisc
+// never injects packets of its own, so links wrapped in a duplicating
+// fault injector cannot be watched.
+func (c *Checker) WatchLink(l *sim.Link, aqmDrops func() int64, capBytes int) {
+	c.links = append(c.links, linkWatch{l: l, aqmDrops: aqmDrops, capBytes: capBytes})
+	c.checkOcc = true
+}
+
+func (c *Checker) violate(format string, args ...interface{}) {
+	if len(c.errs) >= maxViolations {
+		return
+	}
+	c.errs = append(c.errs, fmt.Errorf(format, args...))
+}
+
+// OnSchedule implements sim.Hook.
+func (c *Checker) OnSchedule(at time.Duration, seq int64) {
+	if at < c.lastAt {
+		c.violate("event %d scheduled at %v, before the clock (%v): engine failed to clamp", seq, at, c.lastAt)
+	}
+	c.lastSchedule = at
+}
+
+// OnFire implements sim.Hook.
+func (c *Checker) OnFire(at time.Duration, seq int64) {
+	if c.fired {
+		if at < c.lastAt {
+			c.violate("clock ran backwards: event %d fired at %v after an event at %v", seq, at, c.lastAt)
+		}
+		if at == c.lastAt && seq <= c.lastSeq {
+			c.violate("FIFO tie-break violated at %v: event %d fired after event %d", at, seq, c.lastSeq)
+		}
+	}
+	c.fired = true
+	c.lastAt = at
+	c.lastSeq = seq
+	if c.checkOcc {
+		for _, w := range c.links {
+			if n := w.l.Q.Len(); n < 0 {
+				c.violate("link %s: negative queue length %d at %v", w.l.Name, n, at)
+			}
+			b := w.l.Q.Bytes()
+			if b < 0 {
+				c.violate("link %s: negative queue bytes %d at %v", w.l.Name, b, at)
+			}
+			if w.capBytes > 0 && b > w.capBytes {
+				c.violate("link %s: queue occupancy %dB exceeds bound %dB at %v", w.l.Name, b, w.capBytes, at)
+			}
+		}
+	}
+}
+
+// OnAlloc implements sim.Hook.
+func (c *Checker) OnAlloc(p *sim.Packet) {
+	c.allocs++
+	if _, ok := c.live[p]; ok {
+		c.violate("packet %p handed out twice without an intervening Release (gen %d)", p, p.Generation())
+	}
+	c.live[p] = p.Generation()
+	c.liveNow++
+	if c.liveNow > c.maxLive {
+		c.maxLive = c.liveNow
+	}
+}
+
+// OnFree implements sim.Hook.
+func (c *Checker) OnFree(p *sim.Packet) {
+	c.frees++
+	gen, ok := c.live[p]
+	if !ok {
+		c.violate("packet %p released while not live (gen %d): double free or foreign packet", p, p.Generation())
+		return
+	}
+	if gen != p.Generation() {
+		c.violate("packet %p released under gen %d but allocated under gen %d: use-after-free of a recycled packet",
+			p, p.Generation(), gen)
+	}
+	delete(c.live, p)
+	c.liveNow--
+}
+
+// LivePackets returns the number of pooled packets currently checked
+// out, and the high-water mark over the run.
+func (c *Checker) LivePackets() (now, max int) { return c.liveNow, c.maxLive }
+
+// VerifyLinks runs the end-of-run conservation check on every watched
+// link: accepted == sent + AQM-consumed + queued, with at most one
+// packet unaccounted (the one in serialization when the clock stopped).
+func (c *Checker) VerifyLinks() {
+	for _, w := range c.links {
+		st := w.l.Stats()
+		var aqm int64
+		if w.aqmDrops != nil {
+			aqm = w.aqmDrops()
+		}
+		slack := st.EnqueuedPackets - st.SentPackets - aqm - int64(w.l.Q.Len())
+		if slack < 0 || slack > 1 {
+			c.violate("link %s: conservation violated: %d enqueued != %d sent + %d aqm-dropped + %d queued (slack %d)",
+				w.l.Name, st.EnqueuedPackets, st.SentPackets, aqm, w.l.Q.Len(), slack)
+		}
+	}
+}
+
+// Err returns all recorded violations joined, or nil when every
+// invariant held.
+func (c *Checker) Err() error {
+	return errors.Join(c.errs...)
+}

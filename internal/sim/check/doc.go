@@ -1,0 +1,16 @@
+// Package check is the simulator's validation layer: a runtime
+// invariant checker that hooks into a sim.Engine (monotone virtual
+// clock, FIFO tie-break order, packet-pool use-after-free detection)
+// and into links (per-link packet conservation, queue-occupancy
+// bounds), plus a golden-trace regression corpus that byte-compares
+// the event streams of canonical experiments against committed
+// fixtures.
+//
+// The checker exists so the zero-allocation event engine and packet
+// free-list can be rewritten aggressively: any behavioural drift —
+// reordered events, a clock stepping backwards, a pooled packet
+// recycled while still in flight, a queue leaking bytes — fails a
+// test rather than silently corrupting an experiment. Tests wrap an
+// engine with Attach and (optionally) WatchLink; production code
+// never pays more than the nil-hook branch.
+package check

@@ -9,65 +9,121 @@
 // finite queue. All behaviour is deterministic given the scheduled
 // event order; randomness only enters through workload generators that
 // take an injected *rand.Rand.
+//
+// The engine is the hot path of every experiment and sweep, so its
+// steady state allocates nothing: events live in an indexed 4-ary heap
+// of plain structs (no container/heap interface boxing), event
+// payloads sit in a recycled slot table, timers are generation-checked
+// indices rather than per-schedule allocations, and packets cycle
+// through a per-engine free list (see NewPacket/Release). See
+// docs/PERFORMANCE.md for the design and internal/sim/check for the
+// invariant checker and golden-trace corpus that gate changes here.
 package sim
 
 import (
-	"container/heap"
+	"fmt"
 	"time"
 
 	"repro/internal/obs"
 )
 
-// Engine is a discrete-event scheduler with a virtual clock. The zero
-// value is ready for use; the clock starts at 0.
-type Engine struct {
-	now    time.Duration
-	events eventHeap
-	seq    int64
-	// Processed counts events executed, for tests and runaway guards.
-	Processed int64
+// Hook observes engine-internal transitions for validation layers
+// (internal/sim/check). Production runs leave it nil; every hook site
+// costs one branch. Hooks run synchronously on the engine's goroutine.
+type Hook interface {
+	// OnSchedule fires when an event is enqueued (after past-time
+	// clamping); seq is the event's global FIFO tie-break number.
+	OnSchedule(at time.Duration, seq int64)
+	// OnFire fires just before an event executes.
+	OnFire(at time.Duration, seq int64)
+	// OnAlloc fires when NewPacket hands out a packet (fresh or
+	// recycled).
+	OnAlloc(p *Packet)
+	// OnFree fires when Release returns a packet to the free list,
+	// before its generation is bumped.
+	OnFree(p *Packet)
 }
 
-// Timer is a handle to a scheduled event that can be cancelled.
-type Timer struct {
+// Engine is a discrete-event scheduler with a virtual clock. The zero
+// value is ready for use; the clock starts at 0.
+//
+// Events are stored as plain structs in an indexed 4-ary min-heap
+// keyed by (time, schedule order); the heap holds slot indices into a
+// recycled slot table, so steady-state scheduling allocates nothing.
+// Engines are single-goroutine; parallel sweeps run one engine per
+// worker.
+type Engine struct {
+	now time.Duration
+	seq int64
+	// Processed counts events executed, for tests and runaway guards.
+	Processed int64
+
+	heap  []heapNode  // 4-ary min-heap of pending events
+	slots []eventSlot // stable payload storage indexed by heapNode.slot
+	free  []int32     // recycled slot indices (LIFO)
+
+	pool packetPool
+	hook Hook
+}
+
+// heapNode is one pending event's ordering key plus the index of its
+// payload slot. Nodes move during sifts; slots never move, so Timer
+// handles stay valid.
+type heapNode struct {
+	at   time.Duration
+	seq  int64
+	slot int32
+}
+
+// eventSlot holds an event's payload. gen increments every time the
+// slot is released, so stale Timer handles (fired, cancelled, or
+// dropped by Reset) can never touch a recycled slot's new occupant.
+type eventSlot struct {
+	gen       uint32
 	cancelled bool
+	fn        func()  // evFunc payload
+	pkt       *Packet // evPacket payload (advance on fire)
+}
+
+// Timer is a generation-checked handle to a scheduled event. The zero
+// Timer is inert: Cancel on it is a no-op. Timers are plain values;
+// scheduling does not allocate.
+type Timer struct {
+	eng  *Engine
+	slot int32
+	gen  uint32
 }
 
 // Cancel prevents the associated event from running if it has not run
-// yet. Cancelling an already-fired or already-cancelled timer is a
-// no-op.
-func (t *Timer) Cancel() {
-	if t != nil {
-		t.cancelled = true
+// yet. Cancelling an already-fired, already-cancelled, or zero Timer
+// is a no-op, as is cancelling after Reset: the generation check makes
+// stale handles inert even when their slot has been recycled for a new
+// event.
+func (t Timer) Cancel() {
+	if t.eng == nil || int(t.slot) >= len(t.eng.slots) {
+		return
 	}
-}
-
-type event struct {
-	at    time.Duration
-	seq   int64
-	fn    func()
-	timer *Timer
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+	s := &t.eng.slots[t.slot]
+	if s.gen != t.gen {
+		return // slot recycled: this timer's event already fired or was dropped
 	}
-	return h[i].seq < h[j].seq
+	s.cancelled = true
+	s.fn = nil
+	s.pkt = nil
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return e
+
+// Active reports whether the timer's event is still pending.
+func (t Timer) Active() bool {
+	if t.eng == nil || int(t.slot) >= len(t.eng.slots) {
+		return false
+	}
+	s := &t.eng.slots[t.slot]
+	return s.gen == t.gen && !s.cancelled
 }
+
+// SetHook installs a validation hook (nil disables). Test-only; see
+// internal/sim/check.
+func (e *Engine) SetHook(h Hook) { e.hook = h }
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
@@ -75,7 +131,7 @@ func (e *Engine) Now() time.Duration { return e.now }
 // Schedule runs fn after delay of virtual time. A negative delay is
 // treated as zero (run at the current time, after already-queued events
 // at that time). It returns a Timer that can cancel the event.
-func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
+func (e *Engine) Schedule(delay time.Duration, fn func()) Timer {
 	if delay < 0 {
 		delay = 0
 	}
@@ -84,27 +140,154 @@ func (e *Engine) Schedule(delay time.Duration, fn func()) *Timer {
 
 // ScheduleAt runs fn at absolute virtual time at. Times in the past are
 // clamped to now. Events at equal times run in scheduling order.
-func (e *Engine) ScheduleAt(at time.Duration, fn func()) *Timer {
+func (e *Engine) ScheduleAt(at time.Duration, fn func()) Timer {
+	slot := e.allocSlot()
+	e.slots[slot].fn = fn
+	return e.push(at, slot)
+}
+
+// SchedulePacket resumes p's journey after delay of virtual time: the
+// packet advances to its next path hop, or is delivered to its Dest
+// when the path is exhausted (links use this for propagation delay;
+// transport uses it for fixed-delay ack return). It exists so the
+// per-packet hot path needs no closure allocation.
+func (e *Engine) SchedulePacket(delay time.Duration, p *Packet) Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	slot := e.allocSlot()
+	e.slots[slot].pkt = p
+	return e.push(e.now+delay, slot)
+}
+
+// allocSlot returns a free payload slot, growing the table only when
+// the free list is empty (steady state recycles).
+func (e *Engine) allocSlot() int32 {
+	if n := len(e.free); n > 0 {
+		slot := e.free[n-1]
+		e.free = e.free[:n-1]
+		return slot
+	}
+	e.slots = append(e.slots, eventSlot{})
+	return int32(len(e.slots) - 1)
+}
+
+// freeSlot clears a slot's payload and returns it to the free list,
+// bumping the generation so outstanding Timer handles become inert.
+func (e *Engine) freeSlot(slot int32) {
+	s := &e.slots[slot]
+	s.gen++
+	s.cancelled = false
+	s.fn = nil
+	s.pkt = nil
+	e.free = append(e.free, slot)
+}
+
+// push clamps at to now, assigns the FIFO tie-break sequence, and
+// sifts the node into the 4-ary heap.
+func (e *Engine) push(at time.Duration, slot int32) Timer {
 	if at < e.now {
 		at = e.now
 	}
-	t := &Timer{}
 	e.seq++
-	heap.Push(&e.events, &event{at: at, seq: e.seq, fn: fn, timer: t})
-	return t
+	if e.hook != nil {
+		e.hook.OnSchedule(at, e.seq)
+	}
+	e.heap = append(e.heap, heapNode{at: at, seq: e.seq, slot: slot})
+	e.siftUp(len(e.heap) - 1)
+	return Timer{eng: e, slot: slot, gen: e.slots[slot].gen}
+}
+
+// less orders events by time, breaking ties by schedule order so
+// same-time events run FIFO.
+func (e *Engine) less(a, b heapNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) siftUp(i int) {
+	h := e.heap
+	n := h[i]
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !e.less(n, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = n
+}
+
+func (e *Engine) siftDown(i int) {
+	h := e.heap
+	n := h[i]
+	size := len(h)
+	for {
+		first := 4*i + 1
+		if first >= size {
+			break
+		}
+		best := first
+		last := first + 4
+		if last > size {
+			last = size
+		}
+		for c := first + 1; c < last; c++ {
+			if e.less(h[c], h[best]) {
+				best = c
+			}
+		}
+		if !e.less(h[best], n) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = n
+}
+
+// popMin removes and returns the earliest pending node. The caller
+// must know the heap is non-empty.
+func (e *Engine) popMin() heapNode {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	e.heap = h[:last]
+	if last > 0 {
+		e.siftDown(0)
+	}
+	return top
 }
 
 // Step executes the next pending event, advancing the clock. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {
-	for e.events.Len() > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		if ev.timer.cancelled {
+	for len(e.heap) > 0 {
+		node := e.popMin()
+		s := &e.slots[node.slot]
+		if s.cancelled {
+			e.freeSlot(node.slot)
 			continue
 		}
-		e.now = ev.at
+		fn, pkt := s.fn, s.pkt
+		// Free before running: the handler may schedule (recycling this
+		// slot under a new generation), and the fired event's own Timer
+		// must already be inert.
+		e.freeSlot(node.slot)
+		e.now = node.at
 		e.Processed++
-		ev.fn()
+		if e.hook != nil {
+			e.hook.OnFire(node.at, node.seq)
+		}
+		if pkt != nil {
+			advance(pkt)
+		} else {
+			fn()
+		}
 		return true
 	}
 	return false
@@ -116,9 +299,8 @@ func (e *Engine) Step() bool {
 // drained earlier and was behind until... the clock never exceeds
 // until).
 func (e *Engine) Run(until time.Duration) {
-	for e.events.Len() > 0 {
-		next := e.events[0].at
-		if next > until {
+	for len(e.heap) > 0 {
+		if e.heap[0].at > until {
 			break
 		}
 		e.Step()
@@ -130,7 +312,55 @@ func (e *Engine) Run(until time.Duration) {
 
 // Pending returns the number of events currently queued (including
 // cancelled-but-unreaped ones).
-func (e *Engine) Pending() int { return e.events.Len() }
+func (e *Engine) Pending() int { return len(e.heap) }
+
+// Reset discards every pending event and rewinds the clock and
+// counters, leaving the engine ready for a fresh run. Slot generations
+// are bumped, so Timer handles that outlive the reset are inert:
+// cancelling one can never touch an event scheduled after the reset,
+// even when its slot has been recycled.
+func (e *Engine) Reset() {
+	for _, node := range e.heap {
+		e.freeSlot(node.slot)
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.Processed = 0
+}
+
+// verifyHeap checks the 4-ary heap ordering invariant and the
+// heap/slot-table linkage; the scheduling fuzzer calls it after every
+// operation. It returns nil when the structure is sound.
+func (e *Engine) verifyHeap() error {
+	seen := make(map[int32]bool, len(e.heap))
+	for i, n := range e.heap {
+		if i > 0 {
+			parent := (i - 1) / 4
+			if e.less(n, e.heap[parent]) {
+				return fmt.Errorf("heap order violated at %d: node (%v, %d) < parent (%v, %d)",
+					i, n.at, n.seq, e.heap[parent].at, e.heap[parent].seq)
+			}
+		}
+		if n.slot < 0 || int(n.slot) >= len(e.slots) {
+			return fmt.Errorf("heap node %d references slot %d outside table of %d", i, n.slot, len(e.slots))
+		}
+		if seen[n.slot] {
+			return fmt.Errorf("slot %d referenced by two heap nodes", n.slot)
+		}
+		seen[n.slot] = true
+	}
+	for _, slot := range e.free {
+		if seen[slot] {
+			return fmt.Errorf("slot %d both pending and on the free list", slot)
+		}
+	}
+	if len(seen)+len(e.free) != len(e.slots) {
+		return fmt.Errorf("slot accounting: %d pending + %d free != %d total",
+			len(seen), len(e.free), len(e.slots))
+	}
+	return nil
+}
 
 // RegisterMetrics exposes the engine's counters on the registry as
 // live (pull-style) gauges under the given name prefix: processed

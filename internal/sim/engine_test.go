@@ -58,8 +58,11 @@ func TestEngineCancel(t *testing.T) {
 	if ran {
 		t.Error("cancelled event ran")
 	}
-	var nilTimer *Timer
-	nilTimer.Cancel() // nil-safe
+	var zero Timer
+	zero.Cancel() // the zero Timer is inert
+	if zero.Active() {
+		t.Error("zero Timer reports active")
+	}
 }
 
 func TestEngineRunStopsAtLimit(t *testing.T) {
@@ -126,6 +129,88 @@ func TestEngineScheduleAtPastClamped(t *testing.T) {
 		})
 	})
 	eng.Run(5 * time.Second)
+}
+
+// TestTimerStaleAfterFireDoesNotKillRecycledSlot is the regression
+// test for the timer aliasing hazard: a handle kept after its event
+// fired must not cancel a NEW event that recycled the same slot.
+func TestTimerStaleAfterFireDoesNotKillRecycledSlot(t *testing.T) {
+	eng := &Engine{}
+	fired1, fired2 := false, false
+	tm1 := eng.Schedule(time.Second, func() { fired1 = true })
+	if !eng.Step() || !fired1 {
+		t.Fatal("first event did not fire")
+	}
+	// The second schedule recycles the first event's slot (LIFO free
+	// list, single slot in the table).
+	eng.Schedule(time.Second, func() { fired2 = true })
+	tm1.Cancel() // stale handle: must be inert
+	if tm1.Active() {
+		t.Error("stale handle reports active")
+	}
+	eng.Run(time.Minute)
+	if !fired2 {
+		t.Fatal("stale Cancel killed the event that recycled the slot")
+	}
+}
+
+// TestTimerStaleAfterResetIsInert covers cancel-after-Reset: handles
+// issued before a Reset must not touch events scheduled after it, even
+// when the slot indices collide.
+func TestTimerStaleAfterResetIsInert(t *testing.T) {
+	eng := &Engine{}
+	ranOld := false
+	old := eng.Schedule(time.Second, func() { ranOld = true })
+	eng.Reset()
+	if old.Active() {
+		t.Error("pre-reset handle reports active")
+	}
+	ranNew := false
+	eng.Schedule(time.Second, func() { ranNew = true }) // recycles old's slot
+	old.Cancel()                                        // must be a no-op
+	eng.Run(time.Minute)
+	if ranOld {
+		t.Error("reset-dropped event ran")
+	}
+	if !ranNew {
+		t.Fatal("stale pre-reset Cancel killed a post-reset event")
+	}
+}
+
+// TestTimerCancelFromInsideHandler cancels a later event from inside an
+// earlier one, including the self-referential case of a handler
+// cancelling its own (already inert) timer.
+func TestTimerCancelFromInsideHandler(t *testing.T) {
+	eng := &Engine{}
+	var self Timer
+	other := eng.Schedule(2*time.Second, func() { t.Error("cancelled event ran") })
+	self = eng.Schedule(time.Second, func() {
+		self.Cancel() // own event is firing: must be a no-op
+		other.Cancel()
+	})
+	eng.Run(time.Minute)
+	if eng.Processed != 1 {
+		t.Errorf("Processed = %d, want 1", eng.Processed)
+	}
+}
+
+// TestEngineResetRewinds verifies Reset drops pending work and rewinds
+// the clock so a fresh run is deterministic.
+func TestEngineResetRewinds(t *testing.T) {
+	eng := &Engine{}
+	eng.Schedule(time.Second, func() {})
+	eng.Run(time.Second)
+	eng.Schedule(time.Second, func() { t.Error("dropped event ran") })
+	eng.Reset()
+	if eng.Now() != 0 || eng.Pending() != 0 || eng.Processed != 0 {
+		t.Fatalf("Reset left now=%v pending=%d processed=%d", eng.Now(), eng.Pending(), eng.Processed)
+	}
+	ran := false
+	eng.Schedule(time.Second, func() { ran = true })
+	eng.Run(2 * time.Second)
+	if !ran {
+		t.Fatal("post-reset event did not run")
+	}
 }
 
 func TestEngineDeterminism(t *testing.T) {

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzEngineSchedule drives the engine through adversarial
+// interleavings of schedule, cancel, step, run, reset, and pooled
+// packet delivery, re-verifying the indexed-heap structure after every
+// operation and the (time, seq) fire order throughout. The input is
+// consumed as (opcode, argument) byte pairs.
+func FuzzEngineSchedule(f *testing.F) {
+	f.Add([]byte{0, 10, 0, 5, 6, 0, 6, 0, 8, 20})
+	f.Add([]byte{0, 3, 2, 0, 0, 3, 4, 0, 10, 0, 0, 1, 2, 1, 8, 255})
+	f.Add([]byte{1, 200, 1, 100, 1, 0, 6, 0, 6, 0, 6, 0, 10, 0, 0, 7})
+	f.Add([]byte{3, 0, 0, 9, 5, 0, 0, 9, 8, 50, 10, 0, 3, 0})
+	f.Add([]byte{0, 1, 0, 1, 0, 1, 2, 0, 2, 1, 2, 2, 6, 0, 6, 0, 6, 0, 6, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		eng := &Engine{}
+		var timers []Timer
+		lastFire := time.Duration(-1)
+		fireCount := 0
+		handler := func() {
+			now := eng.Now()
+			if now < lastFire {
+				t.Fatalf("fire order violated: event at %v after event at %v", now, lastFire)
+			}
+			lastFire = now
+			fireCount++
+		}
+		sink := ReceiverFunc(func(p *Packet) {
+			handler()
+			p.Release()
+		})
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i], data[i+1]
+			switch op % 6 {
+			case 0: // relative schedule
+				tm := eng.Schedule(time.Duration(arg)*time.Millisecond, handler)
+				timers = append(timers, tm)
+			case 1: // absolute schedule, possibly in the past (clamped)
+				tm := eng.ScheduleAt(time.Duration(arg)*10*time.Millisecond, handler)
+				timers = append(timers, tm)
+			case 2: // cancel an arbitrary previously issued handle
+				if len(timers) > 0 {
+					timers[int(arg)%len(timers)].Cancel()
+				}
+			case 3: // single step
+				eng.Step()
+			case 4: // bounded run forward
+				eng.Run(eng.Now() + time.Duration(arg)*time.Millisecond)
+			case 5:
+				switch arg % 4 {
+				case 0: // reset: pending events drop, handles go inert
+					eng.Reset()
+					lastFire = -1
+				default: // pooled packet delivery through the event queue
+					p := eng.NewPacket()
+					p.Dest = sink
+					timers = append(timers, eng.SchedulePacket(time.Duration(arg)*time.Millisecond, p))
+				}
+			}
+			if err := eng.verifyHeap(); err != nil {
+				t.Fatalf("after op %d (%d,%d): %v", i/2, op, arg, err)
+			}
+		}
+
+		// Drain: everything still pending must fire in order, and the
+		// heap must end structurally sound and empty.
+		for eng.Step() {
+		}
+		if err := eng.verifyHeap(); err != nil {
+			t.Fatalf("after drain: %v", err)
+		}
+		if eng.Pending() != 0 {
+			t.Fatalf("drained engine still reports %d pending", eng.Pending())
+		}
+
+		// Cancelled or fired handles must all be inert now; cancelling
+		// them again must not disturb anything.
+		for _, tm := range timers {
+			if tm.Active() {
+				t.Fatal("timer reports active after full drain")
+			}
+			tm.Cancel()
+		}
+		if err := eng.verifyHeap(); err != nil {
+			t.Fatalf("after stale cancels: %v", err)
+		}
+	})
+}

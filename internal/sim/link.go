@@ -13,6 +13,11 @@ import (
 // packets back, returning nil together with the earliest time a packet
 // could become available. When the queue is empty Dequeue returns
 // (nil, 0).
+//
+// A qdisc that discards an already-accepted packet internally (AQM
+// drops at dequeue, eviction from another class's queue) is that
+// packet's terminal consumer and must Release it; packets refused at
+// Enqueue are released by the link.
 type Qdisc interface {
 	Enqueue(p *Packet, now time.Duration) bool
 	Dequeue(now time.Duration) (*Packet, time.Duration)
@@ -45,6 +50,8 @@ type Link struct {
 	Q Qdisc
 
 	// OnDrop, if non-nil, is called for each packet the qdisc refused.
+	// The packet is recycled when OnDrop returns: the callback must not
+	// retain it.
 	OnDrop func(p *Packet, now time.Duration)
 	// OnSend, if non-nil, is called when a packet finishes serializing
 	// (before propagation). Tracing hooks use it.
@@ -56,9 +63,19 @@ type Link struct {
 
 	eng      *Engine
 	busy     bool
-	retry    *Timer
+	retry    Timer
 	stats    LinkStats
 	lastBusy time.Duration
+
+	// The packet currently serializing and its transmission time. A
+	// link transmits one packet at a time, so holding the in-service
+	// packet here (with kickFn/finishFn bound once at construction)
+	// keeps the serialize->propagate cycle free of closure allocations.
+	txPkt *Packet
+	txDur time.Duration
+
+	kickFn   func()
+	finishFn func()
 }
 
 // NewLink returns a link bound to the engine. rate is in bits/s and
@@ -70,7 +87,10 @@ func NewLink(eng *Engine, name string, rate float64, delay time.Duration, q Qdis
 	if q == nil {
 		panic(fmt.Sprintf("sim: link %q: nil qdisc", name))
 	}
-	return &Link{Name: name, Rate: rate, Delay: delay, Q: q, eng: eng}
+	l := &Link{Name: name, Rate: rate, Delay: delay, Q: q, eng: eng}
+	l.kickFn = l.kick
+	l.finishFn = l.finish
+	return l
 }
 
 // Stats returns a copy of the link's counters.
@@ -104,6 +124,7 @@ func (l *Link) Send(p *Packet) {
 		if l.OnDrop != nil {
 			l.OnDrop(p, now)
 		}
+		p.Release()
 		return
 	}
 	l.stats.EnqueuedPackets++
@@ -119,16 +140,13 @@ func (l *Link) Send(p *Packet) {
 // kick attempts to dequeue and serialize the next packet. It manages
 // the retry timer for non-work-conserving qdiscs.
 func (l *Link) kick() {
-	if l.retry != nil {
-		l.retry.Cancel()
-		l.retry = nil
-	}
+	l.retry.Cancel()
 	now := l.eng.Now()
 	p, ready := l.Q.Dequeue(now)
 	if p == nil {
 		if ready > now {
 			// Shaped: try again when tokens accrue.
-			l.retry = l.eng.ScheduleAt(ready, l.kick)
+			l.retry = l.eng.ScheduleAt(ready, l.kickFn)
 		}
 		return
 	}
@@ -138,10 +156,15 @@ func (l *Link) kick() {
 			Flow: int32(p.FlowID), Seq: p.Seq, V1: float64(p.Size), V2: float64(l.Q.Bytes())})
 	}
 	tx := l.TransmissionTime(p.Size)
-	l.eng.Schedule(tx, func() { l.finish(p, tx) })
+	l.txPkt, l.txDur = p, tx
+	l.eng.Schedule(tx, l.finishFn)
 }
 
-func (l *Link) finish(p *Packet, tx time.Duration) {
+// finish completes the in-service packet's serialization, hands it to
+// propagation, and keeps the transmitter going.
+func (l *Link) finish() {
+	p, tx := l.txPkt, l.txDur
+	l.txPkt = nil
 	now := l.eng.Now()
 	l.busy = false
 	l.stats.SentPackets++
@@ -151,7 +174,7 @@ func (l *Link) finish(p *Packet, tx time.Duration) {
 		l.OnSend(p, now)
 	}
 	// Propagate, then continue along the path.
-	l.eng.Schedule(l.Delay, func() { advance(p) })
+	l.eng.SchedulePacket(l.Delay, p)
 	l.kick()
 }
 

@@ -89,8 +89,12 @@ func (s *Series) Resample(from, to, step time.Duration) []float64 {
 	return out
 }
 
-// Window returns the values of samples with At in [from, to).
+// Window returns the values of samples with At in [from, to). An
+// empty or inverted window (to <= from) yields no samples.
 func (s *Series) Window(from, to time.Duration) []float64 {
+	if to <= from {
+		return nil
+	}
 	lo := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At >= from })
 	hi := sort.Search(len(s.samples), func(i int) bool { return s.samples[i].At >= to })
 	out := make([]float64, hi-lo)

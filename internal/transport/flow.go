@@ -85,6 +85,8 @@ func NewFlow(eng *sim.Engine, cfg FlowConfig) *Flow {
 		Trace:    cfg.Trace,
 		startAt:  eng.Now(),
 	}
+	s.trySendFn = s.trySend
+	s.onRTOFn = s.onRTO
 	s.stateSince = eng.Now()
 	if cfg.Trace != nil {
 		if ts, ok := cfg.CC.(obs.TraceSetter); ok {

@@ -65,9 +65,12 @@ func (r *Receiver) advertisedWindow() int {
 	return free
 }
 
-// Receive implements sim.Receiver for data packets.
+// Receive implements sim.Receiver for data packets. The receiver is
+// the data packet's terminal consumer: the packet is recycled once its
+// acknowledgment is on its way back.
 func (r *Receiver) Receive(p *sim.Packet) {
 	if p.Ack {
+		p.Release()
 		return
 	}
 	now := r.eng.Now()
@@ -78,20 +81,23 @@ func (r *Receiver) Receive(p *sim.Packet) {
 	if p.Seq > r.highestSeq {
 		r.highestSeq = p.Seq
 	}
-	ack := &sim.Packet{
-		FlowID: p.FlowID,
-		UserID: p.UserID,
-		Seq:    p.Seq,
-		Size:   ackSize,
-		SentAt: now,
-		Ack:    true,
-		RWnd:   r.advertisedWindow(),
-	}
+	ack := r.eng.NewPacket()
+	ack.FlowID = p.FlowID
+	ack.UserID = p.UserID
+	ack.Seq = p.Seq
+	ack.Size = ackSize
+	ack.SentAt = now
+	ack.Ack = true
+	ack.RWnd = r.advertisedWindow()
+	p.Release()
 	if len(r.returnPath) > 0 {
 		ack.Path = r.returnPath
 		ack.Dest = r.sender
 		sim.Inject(ack)
 		return
 	}
-	r.eng.Schedule(r.returnDelay, func() { r.sender.Receive(ack) })
+	// Fixed-delay return: deliver straight to the sender after
+	// returnDelay without a per-ack closure.
+	ack.Dest = r.sender
+	r.eng.SchedulePacket(r.returnDelay, ack)
 }

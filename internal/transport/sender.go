@@ -87,11 +87,16 @@ type Sender struct {
 
 	// Pacing.
 	nextSendAt time.Duration
-	paceTimer  *sim.Timer
+	paceTimer  sim.Timer
 
 	// RTO.
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
 	rtoBackoff int
+
+	// Method values bound once at construction so re-arming the pacing
+	// and RTO timers never allocates.
+	trySendFn func()
+	onRTOFn   func()
 
 	// Limited-time accounting.
 	state       limitState
@@ -251,10 +256,8 @@ func (s *Sender) trySend() {
 		rate := s.cc.PacingRate()
 		if rate > 0 {
 			if now < s.nextSendAt {
-				if s.paceTimer != nil {
-					s.paceTimer.Cancel()
-				}
-				s.paceTimer = s.eng.ScheduleAt(s.nextSendAt, s.trySend)
+				s.paceTimer.Cancel()
+				s.paceTimer = s.eng.ScheduleAt(s.nextSendAt, s.trySendFn)
 				return
 			}
 			gap := time.Duration(float64(size*8) / rate * float64(time.Second))
@@ -279,16 +282,15 @@ func (s *Sender) sendPacket(size int, retx bool) {
 	now := s.eng.Now()
 	seq := s.nextSeq
 	s.nextSeq++
-	p := &sim.Packet{
-		FlowID: s.flowID,
-		UserID: s.userID,
-		Seq:    seq,
-		Size:   size,
-		SentAt: now,
-		Retx:   retx,
-		Path:   s.path,
-		Dest:   s.dest,
-	}
+	p := s.eng.NewPacket()
+	p.FlowID = s.flowID
+	p.UserID = s.userID
+	p.Seq = seq
+	p.Size = size
+	p.SentAt = now
+	p.Retx = retx
+	p.Path = s.path
+	p.Dest = s.dest
 	s.inflight[seq] = sentInfo{size: size, sentAt: now, deliveredAtSend: s.bytesAcked, retx: retx}
 	s.order = append(s.order, seq)
 	s.inflightBytes += size
@@ -315,12 +317,13 @@ func (s *Sender) sendPacket(size int, retx bool) {
 }
 
 // Receive implements sim.Receiver for acknowledgment packets returning
-// to the sender.
+// to the sender. The sender is the packet's terminal consumer: it is
+// recycled when Receive returns.
 func (s *Sender) Receive(p *sim.Packet) {
-	if !p.Ack {
-		return
+	if p.Ack {
+		s.onAck(p)
 	}
-	s.onAck(p)
+	p.Release()
 }
 
 func (s *Sender) onAck(p *sim.Packet) {
@@ -390,9 +393,7 @@ func (s *Sender) maybeComplete(now time.Duration) {
 	}
 	if s.available == 0 && s.inflightBytes == 0 && s.bytesAcked+s.lostBytes >= s.supplied {
 		s.completed = true
-		if s.rtoTimer != nil {
-			s.rtoTimer.Cancel()
-		}
+		s.rtoTimer.Cancel()
 		s.touchState()
 		s.OnComplete(now)
 	}
@@ -492,14 +493,11 @@ func (s *Sender) rto() time.Duration {
 }
 
 func (s *Sender) armRTO() {
-	if s.rtoTimer != nil {
-		s.rtoTimer.Cancel()
-		s.rtoTimer = nil
-	}
+	s.rtoTimer.Cancel()
 	if len(s.inflight) == 0 {
 		return
 	}
-	s.rtoTimer = s.eng.Schedule(s.rto(), s.onRTO)
+	s.rtoTimer = s.eng.Schedule(s.rto(), s.onRTOFn)
 }
 
 func (s *Sender) onRTO() {

@@ -56,6 +56,12 @@ type Prober struct {
 	flowID int
 	nextID int64
 
+	// Bound once at construction so each probe tick reuses the same
+	// path slice, receiver, and tick closure instead of allocating.
+	path   []*sim.Link
+	dest   sim.Receiver
+	tickFn func()
+
 	// Diff is the time series of near/far latency differentials in
 	// seconds (the link's instantaneous queueing + serialization
 	// delay).
@@ -70,8 +76,29 @@ type Prober struct {
 // data flows so fair queueing treats probes as their own class.
 func NewProber(eng *sim.Engine, link *sim.Link, flowID int, cfg Config) *Prober {
 	p := &Prober{cfg: cfg.norm(), eng: eng, link: link, flowID: flowID}
+	p.path = []*sim.Link{link}
+	p.dest = sim.ReceiverFunc(p.receive)
+	p.tickFn = p.tick
 	p.tick()
 	return p
+}
+
+// receive consumes a far probe that crossed the link and records the
+// latency differential. The probe terminates here and is recycled.
+func (p *Prober) receive(pkt *sim.Packet) {
+	p.Received++
+	// The near probe would measure just the propagation path; subtract
+	// the link's constant components to isolate the queueing
+	// differential, exactly what the TTL-expiry pair achieves in the
+	// real technique.
+	oneWay := p.eng.Now() - pkt.SentAt
+	base := p.link.Delay + p.link.TransmissionTime(pkt.Size)
+	diff := oneWay - base
+	if diff < 0 {
+		diff = 0
+	}
+	p.Diff.Append(p.eng.Now(), diff.Seconds())
+	pkt.Release()
 }
 
 // Stop ends the session.
@@ -84,29 +111,15 @@ func (p *Prober) tick() {
 	sent := p.eng.Now()
 	p.Sent++
 	p.nextID++
-	probe := &sim.Packet{
-		FlowID: p.flowID,
-		Seq:    p.nextID,
-		Size:   64,
-		SentAt: sent,
-		Path:   []*sim.Link{p.link},
-		Dest: sim.ReceiverFunc(func(pkt *sim.Packet) {
-			p.Received++
-			// The near probe would measure just the propagation path;
-			// subtract the link's constant components to isolate the
-			// queueing differential, exactly what the TTL-expiry pair
-			// achieves in the real technique.
-			oneWay := p.eng.Now() - pkt.SentAt
-			base := p.link.Delay + p.link.TransmissionTime(pkt.Size)
-			diff := oneWay - base
-			if diff < 0 {
-				diff = 0
-			}
-			p.Diff.Append(p.eng.Now(), diff.Seconds())
-		}),
-	}
+	probe := p.eng.NewPacket()
+	probe.FlowID = p.flowID
+	probe.Seq = p.nextID
+	probe.Size = 64
+	probe.SentAt = sent
+	probe.Path = p.path
+	probe.Dest = p.dest
 	sim.Inject(probe)
-	p.eng.Schedule(p.cfg.Interval, p.tick)
+	p.eng.Schedule(p.cfg.Interval, p.tickFn)
 }
 
 // Verdict summarizes a probing session per the TSLP methodology.
