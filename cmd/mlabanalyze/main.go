@@ -4,9 +4,15 @@
 // change-point detection on the remainder's throughput traces to find
 // flows whose allocation level shifted — the Figure 2 pipeline.
 //
+// The dataset streams through a worker pool one record at a time
+// (gzip input is autodetected), so millions of flows analyze in
+// constant memory; the report is byte-identical for every -workers
+// count. -sketch swaps the exact shift-magnitude CDF for a
+// constant-memory quantile sketch.
+//
 // Usage:
 //
-//	mlabanalyze [-detector pelt|binseg|window] [dataset.jsonl]
+//	mlabanalyze [-detector pelt|binseg|window] [-workers 8] [dataset.jsonl[.gz]]
 //	mlabgen | mlabanalyze
 package main
 
@@ -15,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 
 	"repro/internal/core"
 	"repro/internal/mlab"
@@ -22,8 +29,19 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "mlabanalyze:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	detector := flag.String("detector", "pelt", "change-point detector: pelt, binseg, or window")
 	minShift := flag.Float64("minshift", 0.2, "minimum relative level shift to count")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "analysis goroutines (output is identical for any count)")
+	sketch := flag.Bool("sketch", false, "use the constant-memory shift-magnitude sketch instead of the exact CDF")
+	maxRecords := flag.Int("max-records", 0, "abort past this many records (0 = unlimited)")
+	maxRecordBytes := flag.Int("max-record-bytes", mlab.DefaultMaxRecordBytes, "abort on a longer JSONL line (<0 = unlimited)")
 	cdf := flag.Bool("cdf", false, "also print the shift-magnitude CDF as (value, fraction) rows")
 	metricsOut := flag.String("metrics-out", "", "write pipeline stats to this file (.csv or .jsonl)")
 	flag.Parse()
@@ -32,21 +50,31 @@ func main() {
 	if flag.NArg() > 0 {
 		f, err := os.Open(flag.Arg(0))
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "mlabanalyze:", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		r = f
 	}
-	recs, err := mlab.ReadJSONL(r)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "mlabanalyze:", err)
-		os.Exit(1)
-	}
-	res := core.AnalyzeFig2(recs, core.Fig2Config{
-		Analysis: mlab.AnalysisConfig{Detector: *detector, MinShiftFrac: *minShift},
+	src, err := mlab.NewRecordStream(r, mlab.StreamLimits{
+		MaxRecords:     *maxRecords,
+		MaxRecordBytes: *maxRecordBytes,
 	})
-	res.WriteReport(os.Stdout)
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+
+	res, err := core.AnalyzeFig2Stream(src, core.Fig2Config{
+		Analysis:  mlab.AnalysisConfig{Detector: *detector, MinShiftFrac: *minShift},
+		Workers:   *workers,
+		SketchCDF: *sketch,
+	})
+	if err != nil {
+		return err
+	}
+	if err := res.WriteReport(os.Stdout); err != nil {
+		return err
+	}
 	if *metricsOut != "" {
 		reg := obs.NewRegistry()
 		an := res.Analysis
@@ -59,14 +87,14 @@ func main() {
 		reg.Gauge("mlab.analysis.precision").Set(v.Precision())
 		reg.Gauge("mlab.analysis.recall").Set(v.Recall())
 		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "mlabanalyze:", err)
-			os.Exit(1)
+			return err
 		}
 	}
-	if *cdf && res.Analysis.ShiftCDF.Len() > 0 {
+	if *cdf && res.Analysis.ShiftLen() > 0 {
 		fmt.Println("\n# shift_magnitude cumulative_fraction")
-		for _, pt := range res.Analysis.ShiftCDF.Points(50) {
+		for _, pt := range res.Analysis.ShiftPoints(50) {
 			fmt.Printf("%.4f %.4f\n", pt[0], pt[1])
 		}
 	}
+	return nil
 }

@@ -3,56 +3,78 @@
 // paper's §3.1 analysis consumes. Ground-truth labels are retained so
 // mlabanalyze can validate its classifications.
 //
+// The dataset streams to the output one record at a time, so any flow
+// count runs in constant memory. With -shard-size the records are
+// generated in independently seeded shards on -workers goroutines;
+// sharded output is byte-identical for every worker count (but
+// differs from the default single-stream sequence).
+//
 // Usage:
 //
 //	mlabgen [-flows 9984] [-seed 1] [-o dataset.jsonl] [-metrics-out m.csv]
+//	mlabgen -flows 1000000 -shard-size 2048 -workers 8 -o big.jsonl.gz
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"repro/internal/mlab"
 	"repro/internal/obs"
 )
 
 func main() {
-	flows := flag.Int("flows", 9984, "number of flows (paper: 9,984)")
-	seed := flag.Int64("seed", 1, "random seed")
-	out := flag.String("o", "", "output file (default stdout)")
-	metricsOut := flag.String("metrics-out", "", "write generation stats to this file (.csv or .jsonl)")
-	flag.Parse()
-
-	recs := mlab.Generate(mlab.GeneratorConfig{Flows: *flows, Seed: *seed})
-
-	w := os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "mlabgen:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		w = f
-	}
-	if err := mlab.WriteJSONL(w, recs); err != nil {
+	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "mlabgen:", err)
 		os.Exit(1)
 	}
+}
+
+func run() error {
+	flows := flag.Int("flows", 9984, "number of flows (paper: 9,984)")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout; a .gz suffix implies -gzip)")
+	shardSize := flag.Int("shard-size", 0, "records per independently-seeded shard (0 = historical single-stream sequence)")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "generation goroutines (needs -shard-size; output is identical for any count)")
+	compress := flag.Bool("gzip", false, "gzip the output")
+	metricsOut := flag.String("metrics-out", "", "write generation stats to this file (.csv or .jsonl)")
+	flag.Parse()
+
+	w := os.Stdout
+	var toFile bool
 	if *out != "" {
-		fmt.Fprintf(os.Stderr, "mlabgen: wrote %d records to %s\n", len(recs), *out)
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+		toFile = true
+		if strings.HasSuffix(*out, ".gz") {
+			*compress = true
+		}
+	}
+	cfg := mlab.GeneratorConfig{Flows: *flows, Seed: *seed, ShardSize: *shardSize}
+	stats, err := mlab.GenerateJSONL(w, cfg, *workers, *compress)
+	if err != nil {
+		return err
+	}
+	if toFile {
+		fmt.Fprintf(os.Stderr, "mlabgen: wrote %d records to %s\n", stats.Records, *out)
 	}
 	if *metricsOut != "" {
 		reg := obs.NewRegistry()
-		reg.Gauge("mlab.gen.records").Set(float64(len(recs)))
+		reg.Gauge("mlab.gen.records").Set(float64(stats.Records))
 		byLabel := reg.GaugeFamily("mlab.gen.label_records", "label")
-		for i := range recs {
-			byLabel.With(string(recs[i].TruthLabel)).Add(1)
+		for label, n := range stats.ByLabel {
+			byLabel.With(string(label)).Add(float64(n))
 		}
 		if err := reg.WriteSnapshotFile(*metricsOut); err != nil {
-			fmt.Fprintln(os.Stderr, "mlabgen:", err)
-			os.Exit(1)
+			return err
 		}
 	}
+	return nil
 }

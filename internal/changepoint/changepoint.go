@@ -58,6 +58,65 @@ func (c *costL2) mean(a, b int) float64 {
 // interior breakpoints (indices where a new segment starts). minSize
 // bounds the minimum segment length; values < 1 are treated as 1.
 func PELT(x []float64, penalty float64, minSize int) []int {
+	var s Scratch
+	bps := s.PELT(x, penalty, minSize)
+	if bps == nil {
+		return nil
+	}
+	return append([]int(nil), bps...)
+}
+
+// Scratch holds the working arrays the detectors need, so a caller
+// that runs them over many traces (the M-Lab analysis pipeline runs
+// one per flow) pays zero steady-state allocations: every method
+// reuses the scratch's buffers and returns slices into them, valid
+// only until the next call on the same Scratch. The zero value is
+// ready for use. A Scratch must not be shared between goroutines.
+type Scratch struct {
+	cost  costL2
+	f     []float64
+	prev  []int
+	cand  []int
+	cands []float64 // f[s] + cost(s,t) per candidate, cached between the min and pruning passes
+	diffs []float64
+	bps   []int
+	means []float64
+}
+
+// growF returns a length-n float64 slice backed by buf's array.
+func growF(buf *[]float64, n int) []float64 {
+	if cap(*buf) < n {
+		*buf = make([]float64, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// growI returns a length-n int slice backed by buf's array.
+func growI(buf *[]int, n int) []int {
+	if cap(*buf) < n {
+		*buf = make([]int, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
+}
+
+// prefix (re)fills the scratch's prefix-sum arrays for x.
+func (sc *Scratch) prefix(x []float64) {
+	n := len(x)
+	sc.cost.cum = growF(&sc.cost.cum, n+1)
+	sc.cost.cumsq = growF(&sc.cost.cumsq, n+1)
+	sc.cost.cum[0], sc.cost.cumsq[0] = 0, 0
+	for i, v := range x {
+		sc.cost.cum[i+1] = sc.cost.cum[i] + v
+		sc.cost.cumsq[i+1] = sc.cost.cumsq[i] + v*v
+	}
+}
+
+// PELT is the allocation-free form of the package-level PELT: the
+// returned slice aliases the scratch and is valid until the next call.
+// The segmentation is identical to the package-level function's.
+func (sc *Scratch) PELT(x []float64, penalty float64, minSize int) []int {
 	n := len(x)
 	if n == 0 {
 		return nil
@@ -68,26 +127,36 @@ func PELT(x []float64, penalty float64, minSize int) []int {
 	if penalty < 0 {
 		penalty = 0
 	}
-	c := newCostL2(x)
+	sc.prefix(x)
+	c := &sc.cost
 
 	// f[t] = optimal cost of x[0:t]; prev[t] = last breakpoint.
-	f := make([]float64, n+1)
-	prev := make([]int, n+1)
+	f := growF(&sc.f, n+1)
+	prev := growI(&sc.prev, n+1)
 	for i := range f {
 		f[i] = math.Inf(1)
+		prev[i] = 0
 	}
 	f[0] = -penalty
-	candidates := []int{0}
+	sc.cand = growI(&sc.cand, 1)
+	sc.cand[0] = 0
+	candidates := sc.cand
+	sc.cands = growF(&sc.cands, n+1)
 	for t := minSize; t <= n; t++ {
+		// One pass computes f[s] + cost(s,t) for every candidate; the
+		// minimum over admissible s (segment >= minSize) sets f[t], and
+		// the cached values drive the pruning pass below without a
+		// second cost evaluation per candidate.
 		bestCost := math.Inf(1)
 		bestS := 0
-		for _, s := range candidates {
+		for i, s := range candidates {
+			v := f[s] + c.cost(s, t)
+			sc.cands[i] = v
 			if t-s < minSize {
 				continue
 			}
-			v := f[s] + c.cost(s, t) + penalty
-			if v < bestCost {
-				bestCost = v
+			if v+penalty < bestCost {
+				bestCost = v + penalty
 				bestS = s
 			}
 		}
@@ -95,16 +164,18 @@ func PELT(x []float64, penalty float64, minSize int) []int {
 		prev[t] = bestS
 		// PELT pruning: discard s that can never be optimal again.
 		kept := candidates[:0]
-		for _, s := range candidates {
-			if f[s]+c.cost(s, t) <= f[t] {
+		for i, s := range candidates {
+			if sc.cands[i] <= f[t] {
 				kept = append(kept, s)
 			}
 		}
 		candidates = append(kept, t)
 	}
+	sc.cand = candidates[:0]
 
-	// Backtrack.
-	var bps []int
+	// Backtrack (yields strictly decreasing breakpoints), then reverse
+	// into ascending order.
+	bps := sc.bps[:0]
 	t := n
 	for t > 0 {
 		s := prev[t]
@@ -114,8 +185,48 @@ func PELT(x []float64, penalty float64, minSize int) []int {
 		bps = append(bps, s)
 		t = s
 	}
-	sort.Ints(bps)
+	for i, j := 0, len(bps)-1; i < j; i, j = i+1, j-1 {
+		bps[i], bps[j] = bps[j], bps[i]
+	}
+	sc.bps = bps
 	return bps
+}
+
+// EstimateNoise is the allocation-free form of the package-level
+// EstimateNoise.
+func (sc *Scratch) EstimateNoise(x []float64) float64 {
+	if len(x) < 3 {
+		return 0
+	}
+	diffs := growF(&sc.diffs, len(x)-1)
+	for i := 1; i < len(x); i++ {
+		diffs[i-1] = math.Abs(x[i] - x[i-1])
+	}
+	sort.Float64s(diffs)
+	mad := diffs[len(diffs)/2]
+	sigma := mad / (0.6745 * math.Sqrt2)
+	return sigma * sigma
+}
+
+// SegmentMeans is the allocation-free form of the package-level
+// SegmentMeans: the returned slice aliases the scratch and is valid
+// until the next call. bps must be sorted; out-of-range or
+// non-increasing entries are skipped, mirroring Segments.
+func (sc *Scratch) SegmentMeans(x []float64, bps []int) []float64 {
+	sc.prefix(x)
+	n := len(x)
+	out := sc.means[:0]
+	prevB := 0
+	for _, b := range bps {
+		if b <= prevB || b >= n {
+			continue
+		}
+		out = append(out, sc.cost.mean(prevB, b))
+		prevB = b
+	}
+	out = append(out, sc.cost.mean(prevB, n))
+	sc.means = out
+	return out
 }
 
 // BinSeg performs greedy binary segmentation: repeatedly split the

@@ -14,6 +14,14 @@ type Fig2Config struct {
 	Generator mlab.GeneratorConfig
 	// Analysis configures the pipeline.
 	Analysis mlab.AnalysisConfig
+	// Workers is the analysis fan-out (default 1: the sweep runner
+	// already parallelizes across scenarios). The outcome is identical
+	// for every worker count, so it is execution detail, not spec.
+	Workers int `json:"-"`
+	// SketchCDF switches the shift-magnitude distribution to the
+	// constant-memory sketch (streaming aggregate runs). Execution
+	// detail, like Workers.
+	SketchCDF bool `json:"-"`
 }
 
 // Fig2Result bundles the dataset-level outcome.
@@ -23,33 +31,71 @@ type Fig2Result struct {
 	Validation mlab.Validation
 }
 
+func (c Fig2Config) streamOptions(keepResults bool) mlab.StreamOptions {
+	workers := c.Workers
+	if workers == 0 {
+		workers = 1
+	}
+	return mlab.StreamOptions{
+		Workers:       workers,
+		KeepResults:   keepResults,
+		ExactShiftCDF: !c.SketchCDF,
+	}
+}
+
 // RunFig2 generates the synthetic NDT dataset and runs the paper's
 // §3.1 pipeline over it: filter application-limited, receiver-limited,
 // and cellular flows, then search the remainder's throughput traces
-// for level shifts. The error return exists for signature uniformity
-// with the other registered scenarios (the pipeline itself cannot
-// fail) and to leave room for dataset-loading variants.
+// for level shifts. Generation and analysis are pipelined record by
+// record — the dataset is never materialized.
 func RunFig2(cfg Fig2Config) (*Fig2Result, error) {
-	recs := mlab.Generate(cfg.Generator)
-	an := mlab.Analyze(recs, cfg.Analysis)
+	src := mlab.NewGenSource(cfg.Generator)
+	an, err := mlab.AnalyzeStream(src, cfg.Analysis, cfg.streamOptions(true))
+	if err != nil {
+		return nil, err
+	}
 	return &Fig2Result{Config: cfg, Analysis: an, Validation: an.Validate()}, nil
 }
 
 // AnalyzeFig2 runs the pipeline over an existing dataset (e.g. loaded
 // from JSONL).
 func AnalyzeFig2(recs []mlab.Record, cfg Fig2Config) *Fig2Result {
-	an := mlab.Analyze(recs, cfg.Analysis)
-	return &Fig2Result{Config: cfg, Analysis: an, Validation: an.Validate()}
+	r, err := AnalyzeFig2Stream(&mlab.SliceSource{Recs: recs}, cfg)
+	if err != nil {
+		// A slice source cannot fail to decode.
+		panic(err)
+	}
+	return r
+}
+
+// AnalyzeFig2Stream runs the pipeline over a record stream in the
+// constant-memory aggregate mode: per-flow results are not retained,
+// and with cfg.SketchCDF the shift-magnitude distribution is sketched,
+// so memory is O(cfg.Workers x flow size) however large the dataset.
+func AnalyzeFig2Stream(src mlab.RecordSource, cfg Fig2Config) (*Fig2Result, error) {
+	an, err := mlab.AnalyzeStream(src, cfg.Analysis, cfg.streamOptions(false))
+	if err != nil {
+		return nil, err
+	}
+	return &Fig2Result{Config: cfg, Analysis: an, Validation: an.Validate()}, nil
 }
 
 // WriteReport renders the Figure 2 style report plus the ground-truth
-// validation unavailable to the paper's real-data analysis.
-func (r *Fig2Result) WriteReport(w io.Writer) {
-	r.Analysis.WriteReport(w)
+// validation unavailable to the paper's real-data analysis. It returns
+// the first error the underlying writer reported.
+func (r *Fig2Result) WriteReport(w io.Writer) error {
+	if err := r.Analysis.WriteReport(w); err != nil {
+		return err
+	}
 	v := r.Validation
 	if v.TruePos+v.FalseNeg+v.FalsePos+v.TrueNeg > 0 {
-		fmt.Fprintf(w, "\nlevel-shift detection vs ground truth (candidates only):\n")
-		fmt.Fprintf(w, "  precision=%.3f recall=%.3f (tp=%d fp=%d fn=%d tn=%d)\n",
-			v.Precision(), v.Recall(), v.TruePos, v.FalsePos, v.FalseNeg, v.TrueNeg)
+		if _, err := fmt.Fprintf(w, "\nlevel-shift detection vs ground truth (candidates only):\n"); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "  precision=%.3f recall=%.3f (tp=%d fp=%d fn=%d tn=%d)\n",
+			v.Precision(), v.Recall(), v.TruePos, v.FalsePos, v.FalseNeg, v.TrueNeg); err != nil {
+			return err
+		}
 	}
+	return nil
 }

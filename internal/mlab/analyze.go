@@ -75,44 +75,59 @@ type FlowResult struct {
 }
 
 // Analysis is the aggregate outcome of running the pipeline on a
-// dataset.
+// dataset. Depending on how it was produced, per-flow Results may be
+// absent (streaming aggregate mode) and the shift-magnitude
+// distribution may be exact (ShiftCDF) or sketched (ShiftSketch) —
+// see StreamOptions.
 type Analysis struct {
 	Total   int
 	ByCat   map[Category]int
 	Results []FlowResult
 	// ShiftCDF collects relative shift magnitudes across flows with
-	// level shifts.
+	// level shifts (exact mode; nil when sketched).
 	ShiftCDF *stats.CDF
-	cfg      AnalysisConfig
+	// ShiftSketch is the constant-memory shift-magnitude distribution
+	// (aggregate mode; nil when exact).
+	ShiftSketch *stats.Sketch `json:"ShiftSketch,omitempty"`
+	val         Validation
+	cfg         AnalysisConfig
 }
 
 // Analyze runs the paper's passive pipeline over the dataset: exclude
 // short, application-limited, receiver-limited, and cellular flows;
 // run change-point detection on the remainder's throughput traces;
 // flag flows whose throughput level shifted.
+//
+// It materializes per-flow results and an exact shift CDF, matching
+// the historical behavior; large datasets should stream through
+// AnalyzeStream instead.
 func Analyze(recs []Record, cfg AnalysisConfig) *Analysis {
-	cfg = cfg.norm()
-	a := &Analysis{
-		Total:    len(recs),
-		ByCat:    make(map[Category]int),
-		ShiftCDF: stats.NewCDF(nil),
-		cfg:      cfg,
-	}
-	for i := range recs {
-		r := &recs[i]
-		res := analyzeOne(r, cfg)
-		a.ByCat[res.Category]++
-		if res.Category == CatLevelShift {
-			for _, m := range res.ShiftMagnitudes {
-				a.ShiftCDF.Add(m)
-			}
-		}
-		a.Results = append(a.Results, res)
+	a, err := AnalyzeStream(&SliceSource{Recs: recs}, cfg, StreamOptions{
+		Workers:       1,
+		KeepResults:   true,
+		ExactShiftCDF: true,
+	})
+	if err != nil {
+		// A slice source cannot fail to decode.
+		panic(err)
 	}
 	return a
 }
 
-func analyzeOne(r *Record, cfg AnalysisConfig) FlowResult {
+// scratch carries one worker's reusable buffers: the throughput
+// trace, the change-point detector's arrays, and the accepted
+// breakpoint/magnitude lists. After warmup, analyzing a flow with the
+// default (PELT) detector performs no heap allocations.
+type scratch struct {
+	trace []float64
+	cp    changepoint.Scratch
+	bps   []int
+	mags  []float64
+}
+
+// analyzeInto classifies one record. The result's Breakpoints and
+// ShiftMagnitudes alias sc and are valid until the next call.
+func analyzeInto(r *Record, cfg AnalysisConfig, sc *scratch) FlowResult {
 	res := FlowResult{ID: r.ID, Truth: r.TruthLabel}
 	final := r.FinalSnapshot()
 	switch {
@@ -126,11 +141,14 @@ func analyzeOne(r *Record, cfg AnalysisConfig) FlowResult {
 		res.Category = CatCellular
 	default:
 		res.Category = CatStable
-		trace := r.ThroughputTrace()
-		bps := detect(trace, cfg)
-		means := changepoint.SegmentMeans(trace, bps)
+		sc.trace = r.ThroughputTraceInto(sc.trace)
+		trace := sc.trace
+		bps := detect(trace, cfg, sc)
+		means := sc.cp.SegmentMeans(trace, bps)
 		// Accept a breakpoint only when adjacent segment means differ
 		// by MinShiftFrac relative to the larger one.
+		sc.bps = sc.bps[:0]
+		sc.mags = sc.mags[:0]
 		for k, b := range bps {
 			hi := means[k]
 			lo := means[k+1]
@@ -142,19 +160,21 @@ func analyzeOne(r *Record, cfg AnalysisConfig) FlowResult {
 			}
 			mag := (hi - lo) / hi
 			if mag >= cfg.MinShiftFrac {
-				res.Breakpoints = append(res.Breakpoints, b)
-				res.ShiftMagnitudes = append(res.ShiftMagnitudes, mag)
+				sc.bps = append(sc.bps, b)
+				sc.mags = append(sc.mags, mag)
 			}
 		}
-		if len(res.Breakpoints) > 0 {
+		if len(sc.bps) > 0 {
 			res.Category = CatLevelShift
+			res.Breakpoints = sc.bps
+			res.ShiftMagnitudes = sc.mags
 		}
 	}
 	return res
 }
 
-func detect(trace []float64, cfg AnalysisConfig) []int {
-	sigma2 := changepoint.EstimateNoise(trace)
+func detect(trace []float64, cfg AnalysisConfig, sc *scratch) []int {
+	sigma2 := sc.cp.EstimateNoise(trace)
 	pen := cfg.PenaltyScale * changepoint.BICPenalty(len(trace), sigma2) * float64(cfg.MinSegment)
 	switch cfg.Detector {
 	case "binseg":
@@ -164,7 +184,7 @@ func detect(trace []float64, cfg AnalysisConfig) []int {
 		thr := 4 * math.Sqrt(sigma2)
 		return changepoint.Window(trace, cfg.MinSegment, thr)
 	default:
-		return changepoint.PELT(trace, pen, cfg.MinSegment)
+		return sc.cp.PELT(trace, pen, cfg.MinSegment)
 	}
 }
 
@@ -202,51 +222,107 @@ func (v Validation) Recall() float64 {
 
 // Validate scores level-shift detection against ground truth over the
 // flows that reached the change-point stage (i.e. categorized stable
-// or level-shift). A "positive" is a contending flow.
-func (a *Analysis) Validate() Validation {
-	var v Validation
-	for _, r := range a.Results {
-		if r.Category != CatStable && r.Category != CatLevelShift {
-			continue
-		}
-		truthPositive := r.Truth == LabelContending || r.Truth == LabelPoliced
-		detected := r.Category == CatLevelShift
-		switch {
-		case truthPositive && detected:
-			v.TruePos++
-		case truthPositive && !detected:
-			v.FalseNeg++
-		case !truthPositive && detected:
-			v.FalsePos++
-		default:
-			v.TrueNeg++
-		}
+// or level-shift). A "positive" is a contending flow. The counts are
+// accumulated while flows stream through the pipeline, so they are
+// available even when per-flow Results were not retained.
+func (a *Analysis) Validate() Validation { return a.val }
+
+// scoreTruth folds one flow's verdict into the validation counts,
+// mirroring Validate's historical definition.
+func (v *Validation) scoreTruth(res *FlowResult) {
+	if res.Category != CatStable && res.Category != CatLevelShift {
+		return
 	}
-	return v
+	truthPositive := res.Truth == LabelContending || res.Truth == LabelPoliced
+	detected := res.Category == CatLevelShift
+	switch {
+	case truthPositive && detected:
+		v.TruePos++
+	case truthPositive && !detected:
+		v.FalseNeg++
+	case !truthPositive && detected:
+		v.FalsePos++
+	default:
+		v.TrueNeg++
+	}
+}
+
+func (v *Validation) merge(o Validation) {
+	v.TruePos += o.TruePos
+	v.FalsePos += o.FalsePos
+	v.TrueNeg += o.TrueNeg
+	v.FalseNeg += o.FalseNeg
+}
+
+// ShiftLen returns the number of accepted shift-magnitude samples,
+// whichever distribution backs them.
+func (a *Analysis) ShiftLen() int {
+	if a.ShiftCDF != nil {
+		return a.ShiftCDF.Len()
+	}
+	if a.ShiftSketch != nil {
+		return a.ShiftSketch.Len()
+	}
+	return 0
+}
+
+// ShiftPoints returns n (value, cumulative fraction) points of the
+// shift-magnitude distribution, whichever backing it has.
+func (a *Analysis) ShiftPoints(n int) [][2]float64 {
+	if a.ShiftCDF != nil {
+		return a.ShiftCDF.Points(n)
+	}
+	if a.ShiftSketch != nil {
+		return a.ShiftSketch.Points(n)
+	}
+	return nil
+}
+
+// errWriter tracks the first write error so a report renders with one
+// error check instead of one per Fprintf.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (ew *errWriter) Write(p []byte) (int, error) {
+	if ew.err != nil {
+		return 0, ew.err
+	}
+	n, err := ew.w.Write(p)
+	if err != nil {
+		ew.err = err
+	}
+	return n, err
 }
 
 // WriteReport renders the Figure 2 style summary to w: the category
-// breakdown and the level-shift statistics among candidate flows.
-func (a *Analysis) WriteReport(w io.Writer) {
-	fmt.Fprintf(w, "M-Lab NDT passive analysis (%d flows)\n", a.Total)
-	fmt.Fprintf(w, "%-14s %8s %8s\n", "category", "flows", "frac")
+// breakdown and the level-shift statistics among candidate flows. It
+// returns the first error the underlying writer reported.
+func (a *Analysis) WriteReport(w io.Writer) error {
+	ew := &errWriter{w: w}
+	fmt.Fprintf(ew, "M-Lab NDT passive analysis (%d flows)\n", a.Total)
+	fmt.Fprintf(ew, "%-14s %8s %8s\n", "category", "flows", "frac")
 	cats := []Category{CatShort, CatAppLimited, CatRWndLimited, CatCellular, CatStable, CatLevelShift}
 	for _, c := range cats {
-		fmt.Fprintf(w, "%-14s %8d %7.1f%%\n", c, a.ByCat[c], 100*a.Fraction(c))
+		fmt.Fprintf(ew, "%-14s %8d %7.1f%%\n", c, a.ByCat[c], 100*a.Fraction(c))
 	}
 	candidates := a.ByCat[CatStable] + a.ByCat[CatLevelShift]
 	total := a.Total
 	if total < 1 {
 		total = 1
 	}
-	fmt.Fprintf(w, "\ncandidate (non-excluded) flows: %d (%.1f%%)\n", candidates, 100*float64(candidates)/float64(total))
+	fmt.Fprintf(ew, "\ncandidate (non-excluded) flows: %d (%.1f%%)\n", candidates, 100*float64(candidates)/float64(total))
 	if candidates > 0 {
-		fmt.Fprintf(w, "with throughput level shift:    %d (%.1f%% of candidates)\n",
+		fmt.Fprintf(ew, "with throughput level shift:    %d (%.1f%% of candidates)\n",
 			a.ByCat[CatLevelShift], 100*float64(a.ByCat[CatLevelShift])/float64(candidates))
 	}
-	if a.ShiftCDF.Len() > 0 {
-		fmt.Fprintf(w, "shift magnitude CDF: %v\n", a.ShiftCDF)
+	if a.ShiftCDF != nil && a.ShiftCDF.Len() > 0 {
+		fmt.Fprintf(ew, "shift magnitude CDF: %v\n", a.ShiftCDF)
+	} else if a.ShiftSketch != nil && a.ShiftSketch.Len() > 0 {
+		fmt.Fprintf(ew, "shift magnitude CDF: %v\n", a.ShiftSketch)
 	}
+	return ew.err
 }
 
 // CategoryOrder returns pipeline categories in display order.

@@ -1,0 +1,93 @@
+package mlab
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+const benchFlows = 2000
+
+var benchDataset = sync.OnceValue(func() []Record {
+	return Generate(GeneratorConfig{Flows: benchFlows, Seed: 1})
+})
+
+func benchAnalyze(b *testing.B, workers int) {
+	recs := benchDataset()
+	cfg := AnalysisConfig{}
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a, err := AnalyzeStream(&SliceSource{Recs: recs}, cfg, StreamOptions{Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a.Total != benchFlows {
+			b.Fatalf("analyzed %d flows, want %d", a.Total, benchFlows)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	allocsPerFlow := float64(ms1.Mallocs-ms0.Mallocs) / float64(b.N) / benchFlows
+	b.ReportMetric(allocsPerFlow, "allocs/flow")
+}
+
+// BenchmarkMLabAnalyzeSeq is the single-worker streaming pipeline:
+// the per-flow cost the parallel version divides across cores, and
+// the source of the allocs/flow figure (steady-state analysis is
+// zero-alloc per flow; the residue is fixed per-run setup).
+func BenchmarkMLabAnalyzeSeq(b *testing.B) { benchAnalyze(b, 1) }
+
+// BenchmarkMLabAnalyzePar8 is the 8-worker pipeline; on a machine
+// with >= 8 cores it must be >= 4x BenchmarkMLabAnalyzeSeq.
+func BenchmarkMLabAnalyzePar8(b *testing.B) { benchAnalyze(b, 8) }
+
+// BenchmarkMLabAnalyzeStoreAll is the historical store-everything
+// path (per-flow results + exact CDF), kept as the memory/alloc
+// comparison point for the streaming aggregate mode.
+func BenchmarkMLabAnalyzeStoreAll(b *testing.B) {
+	recs := benchDataset()
+	cfg := AnalysisConfig{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := Analyze(recs, cfg)
+		if a.Total != benchFlows {
+			b.Fatalf("analyzed %d flows, want %d", a.Total, benchFlows)
+		}
+	}
+}
+
+// BenchmarkMLabGenerate streams record generation (the GenSource path
+// both Generate and GenerateJSONL run on), one reused record at a
+// time.
+func BenchmarkMLabGenerate(b *testing.B) {
+	cfg := GeneratorConfig{Flows: benchFlows, Seed: 1}
+	b.ReportAllocs()
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		src := NewGenSource(cfg)
+		var rec Record
+		n := 0
+		for {
+			if err := src.Next(&rec); err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
+			n++
+		}
+		if n != benchFlows {
+			b.Fatalf("generated %d flows, want %d", n, benchFlows)
+		}
+	}
+	b.StopTimer()
+	runtime.ReadMemStats(&ms1)
+	b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(b.N)/benchFlows, "allocs/flow")
+}

@@ -80,11 +80,18 @@ func (r *Record) FinalSnapshot() tcpinfo.Snapshot {
 // ThroughputTrace extracts the per-snapshot throughput series in
 // bits/s.
 func (r *Record) ThroughputTrace() []float64 {
-	out := make([]float64, len(r.Snapshots))
-	for i, s := range r.Snapshots {
-		out[i] = s.ThroughputBps
+	return r.ThroughputTraceInto(nil)
+}
+
+// ThroughputTraceInto extracts the throughput series into buf's
+// backing array (growing it only when needed), so a caller processing
+// many flows can reuse one buffer allocation-free.
+func (r *Record) ThroughputTraceInto(buf []float64) []float64 {
+	buf = buf[:0]
+	for i := range r.Snapshots {
+		buf = append(buf, r.Snapshots[i].ThroughputBps)
 	}
-	return out
+	return buf
 }
 
 // WriteJSONL encodes records one-per-line to w.
@@ -99,17 +106,29 @@ func WriteJSONL(w io.Writer, recs []Record) error {
 	return bw.Flush()
 }
 
-// ReadJSONL decodes a JSONL dataset from r.
+// ReadJSONL decodes a JSONL dataset from r into memory, with gzip
+// autodetection and the default input guards (see StreamLimits). It
+// materializes every record; use RecordStream with AnalyzeStream for
+// datasets that should not fit in memory.
 func ReadJSONL(r io.Reader) ([]Record, error) {
+	return ReadJSONLLimited(r, StreamLimits{})
+}
+
+// ReadJSONLLimited is ReadJSONL with explicit input guards.
+func ReadJSONLLimited(r io.Reader, lim StreamLimits) ([]Record, error) {
+	s, err := NewRecordStream(r, lim)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
 	var recs []Record
-	dec := json.NewDecoder(bufio.NewReader(r))
 	for {
 		var rec Record
-		if err := dec.Decode(&rec); err != nil {
+		if err := s.Next(&rec); err != nil {
 			if err == io.EOF {
 				return recs, nil
 			}
-			return nil, fmt.Errorf("mlab: decoding record %d: %w", len(recs), err)
+			return nil, err
 		}
 		recs = append(recs, rec)
 	}

@@ -1,0 +1,239 @@
+package mlab
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// RecordSource yields NDT records one at a time. Next decodes (or
+// generates) the next record into rec, reusing rec's backing storage
+// where possible, and returns io.EOF at the end of the stream. The
+// record passed to Next is owned by the caller until the same rec is
+// passed again; sources must not retain it.
+type RecordSource interface {
+	Next(rec *Record) error
+}
+
+// Default guards for untrusted datasets. A real NDT record is a few
+// hundred snapshots; 16 MiB of JSON per record is already two orders
+// of magnitude past anything plausible.
+const (
+	DefaultMaxRecordBytes = 16 << 20
+)
+
+// StreamLimits guards a stream against pathological inputs.
+type StreamLimits struct {
+	// MaxRecordBytes caps one JSONL line (default DefaultMaxRecordBytes;
+	// negative disables the cap).
+	MaxRecordBytes int
+	// MaxRecords caps the record count (0 or negative = unlimited).
+	MaxRecords int
+}
+
+func (l StreamLimits) norm() StreamLimits {
+	if l.MaxRecordBytes == 0 {
+		l.MaxRecordBytes = DefaultMaxRecordBytes
+	}
+	return l
+}
+
+var gzipMagic = []byte{0x1f, 0x8b}
+
+// RecordStream decodes a JSONL dataset incrementally: one record in
+// memory at a time, with per-record buffer reuse, transparent gzip
+// autodetection (for .jsonl.gz datasets), and input guards. It is the
+// constant-memory replacement for ReadJSONL.
+type RecordStream struct {
+	br     *bufio.Reader
+	gz     *gzip.Reader
+	lim    StreamLimits
+	n      int
+	line   []byte
+	failed bool
+}
+
+// NewRecordStream wraps r. The first bytes are sniffed for the gzip
+// magic, so callers can hand over either plain or gzipped JSONL
+// without declaring which.
+func NewRecordStream(r io.Reader, lim StreamLimits) (*RecordStream, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	head, err := br.Peek(2)
+	if err != nil && err != io.EOF {
+		return nil, fmt.Errorf("mlab: reading stream head: %w", err)
+	}
+	s := &RecordStream{br: br, lim: lim.norm()}
+	if bytes.Equal(head, gzipMagic) {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("mlab: opening gzip stream: %w", err)
+		}
+		s.gz = gz
+		s.br = bufio.NewReaderSize(gz, 1<<16)
+	}
+	return s, nil
+}
+
+// Count returns the number of records decoded so far.
+func (s *RecordStream) Count() int { return s.n }
+
+// Close releases the gzip decoder, if any. The underlying reader is
+// the caller's to close.
+func (s *RecordStream) Close() error {
+	if s.gz != nil {
+		return s.gz.Close()
+	}
+	return nil
+}
+
+// Next decodes the next record into rec, reusing rec's snapshot
+// storage. It returns io.EOF at a clean end of input; any other error
+// (malformed JSON, a truncated final record, an oversized line, or a
+// record-count limit) is terminal and carries the failing record's
+// index.
+func (s *RecordStream) Next(rec *Record) error {
+	if s.failed {
+		return fmt.Errorf("mlab: stream already failed at record %d", s.n)
+	}
+	line, err := s.nextLine()
+	if err != nil {
+		if err != io.EOF {
+			s.failed = true
+		}
+		return err
+	}
+	if s.lim.MaxRecords > 0 && s.n >= s.lim.MaxRecords {
+		s.failed = true
+		return fmt.Errorf("mlab: record %d exceeds the %d-record limit", s.n, s.lim.MaxRecords)
+	}
+	rec.reset()
+	if err := json.Unmarshal(line, rec); err != nil {
+		s.failed = true
+		return fmt.Errorf("mlab: decoding record %d: %w", s.n, err)
+	}
+	s.n++
+	return nil
+}
+
+// nextLine returns the next non-blank line (without the newline),
+// buffered in s.line. io.EOF means a clean end of input.
+func (s *RecordStream) nextLine() ([]byte, error) {
+	for {
+		s.line = s.line[:0]
+		for {
+			chunk, err := s.br.ReadSlice('\n')
+			s.line = append(s.line, chunk...)
+			if s.lim.MaxRecordBytes > 0 && len(s.line) > s.lim.MaxRecordBytes {
+				return nil, fmt.Errorf("mlab: record %d exceeds the %d-byte line limit", s.n, s.lim.MaxRecordBytes)
+			}
+			if err == nil || err == io.EOF {
+				break
+			}
+			if err != bufio.ErrBufferFull {
+				return nil, fmt.Errorf("mlab: reading record %d: %w", s.n, err)
+			}
+		}
+		trimmed := bytes.TrimSpace(s.line)
+		if len(trimmed) > 0 {
+			return trimmed, nil
+		}
+		if len(s.line) == 0 {
+			// ReadSlice returned no data: clean EOF.
+			return nil, io.EOF
+		}
+		// Blank line (or trailing newline at EOF): skip and continue.
+		if !bytes.HasSuffix(s.line, []byte("\n")) {
+			return nil, io.EOF
+		}
+	}
+}
+
+// reset clears rec for reuse, retaining the snapshot backing array so
+// steady-state decoding does not reallocate it.
+func (r *Record) reset() {
+	snaps := r.Snapshots[:0]
+	*r = Record{Snapshots: snaps}
+}
+
+// SliceSource adapts an in-memory dataset to the RecordSource
+// interface. Records share the slice's snapshot storage (read-only).
+type SliceSource struct {
+	Recs []Record
+	i    int
+}
+
+// Next copies the next record header into rec (snapshots are shared,
+// not copied) or returns io.EOF.
+func (s *SliceSource) Next(rec *Record) error {
+	if s.i >= len(s.Recs) {
+		return io.EOF
+	}
+	*rec = s.Recs[s.i]
+	s.i++
+	return nil
+}
+
+// JSONLWriter encodes records one per line with optional gzip
+// compression, buffering the underlying writer. It is the streaming
+// counterpart of WriteJSONL.
+type JSONLWriter struct {
+	bw  *bufio.Writer
+	gz  *gzip.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewJSONLWriter wraps w; when compress is set the output is gzipped.
+func NewJSONLWriter(w io.Writer, compress bool) *JSONLWriter {
+	jw := &JSONLWriter{bw: bufio.NewWriterSize(w, 1<<16)}
+	if compress {
+		jw.gz = gzip.NewWriter(jw.bw)
+		jw.enc = json.NewEncoder(jw.gz)
+	} else {
+		jw.enc = json.NewEncoder(jw.bw)
+	}
+	return jw
+}
+
+// Write encodes one record.
+func (jw *JSONLWriter) Write(rec *Record) error {
+	if err := jw.enc.Encode(rec); err != nil {
+		return fmt.Errorf("mlab: encoding record %d: %w", jw.n, err)
+	}
+	jw.n++
+	return nil
+}
+
+// WriteRaw copies pre-encoded JSONL bytes through (the parallel
+// generator encodes shards off the writer goroutine).
+func (jw *JSONLWriter) WriteRaw(b []byte, records int) error {
+	if jw.gz != nil {
+		if _, err := jw.gz.Write(b); err != nil {
+			return fmt.Errorf("mlab: writing record %d: %w", jw.n, err)
+		}
+	} else if _, err := jw.bw.Write(b); err != nil {
+		return fmt.Errorf("mlab: writing record %d: %w", jw.n, err)
+	}
+	jw.n += records
+	return nil
+}
+
+// Count returns the number of records written.
+func (jw *JSONLWriter) Count() int { return jw.n }
+
+// Close flushes all layers. It must be called for the output to be
+// complete; the underlying writer is the caller's to close.
+func (jw *JSONLWriter) Close() error {
+	if jw.gz != nil {
+		if err := jw.gz.Close(); err != nil {
+			return fmt.Errorf("mlab: closing gzip stream: %w", err)
+		}
+	}
+	if err := jw.bw.Flush(); err != nil {
+		return fmt.Errorf("mlab: flushing output: %w", err)
+	}
+	return nil
+}

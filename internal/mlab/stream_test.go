@@ -1,0 +1,420 @@
+package mlab
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+)
+
+func genTestDataset(t *testing.T, flows int, seed int64) []Record {
+	t.Helper()
+	return Generate(GeneratorConfig{Flows: flows, Seed: seed})
+}
+
+func TestRecordStreamRoundTrip(t *testing.T) {
+	recs := genTestDataset(t, 50, 1)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewRecordStream(&buf, StreamLimits{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var rec Record
+	for i := range recs {
+		if err := s.Next(&rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.ID != recs[i].ID || len(rec.Snapshots) != len(recs[i].Snapshots) {
+			t.Fatalf("record %d: got %s/%d snapshots, want %s/%d",
+				i, rec.ID, len(rec.Snapshots), recs[i].ID, len(recs[i].Snapshots))
+		}
+	}
+	if err := s.Next(&rec); err != io.EOF {
+		t.Fatalf("after last record: got %v, want io.EOF", err)
+	}
+	if s.Count() != len(recs) {
+		t.Fatalf("Count() = %d, want %d", s.Count(), len(recs))
+	}
+}
+
+func TestRecordStreamGzipAutodetect(t *testing.T) {
+	recs := genTestDataset(t, 20, 2)
+	var plain bytes.Buffer
+	if err := WriteJSONL(&plain, recs); err != nil {
+		t.Fatal(err)
+	}
+	var zipped bytes.Buffer
+	gz := gzip.NewWriter(&zipped)
+	if _, err := gz.Write(plain.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := gz.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	got, err := ReadJSONL(&zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("gzip read returned %d records, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i].ID != recs[i].ID {
+			t.Fatalf("record %d: ID %s, want %s", i, got[i].ID, recs[i].ID)
+		}
+	}
+}
+
+func TestJSONLWriterGzipRoundTrip(t *testing.T) {
+	recs := genTestDataset(t, 20, 3)
+	var buf bytes.Buffer
+	jw := NewJSONLWriter(&buf, true)
+	for i := range recs {
+		if err := jw.Write(&recs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(got), len(recs))
+	}
+}
+
+func TestRecordStreamTruncatedRecord(t *testing.T) {
+	recs := genTestDataset(t, 3, 4)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the final record mid-JSON.
+	b := buf.Bytes()
+	b = b[:len(b)-len(b)/8]
+	_, err := ReadJSONL(bytes.NewReader(b))
+	if err == nil {
+		t.Fatal("truncated input decoded without error")
+	}
+	if !strings.Contains(err.Error(), "decoding record 2") {
+		t.Fatalf("error %q does not name the failing record index 2", err)
+	}
+}
+
+func TestRecordStreamLimits(t *testing.T) {
+	recs := genTestDataset(t, 5, 5)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+
+	_, err := ReadJSONLLimited(bytes.NewReader(data), StreamLimits{MaxRecords: 3})
+	if err == nil || !strings.Contains(err.Error(), "record 3 exceeds the 3-record limit") {
+		t.Fatalf("MaxRecords violation: got %v", err)
+	}
+
+	_, err = ReadJSONLLimited(bytes.NewReader(data), StreamLimits{MaxRecordBytes: 100})
+	if err == nil || !strings.Contains(err.Error(), "line limit") {
+		t.Fatalf("MaxRecordBytes violation: got %v", err)
+	}
+
+	got, err := ReadJSONLLimited(bytes.NewReader(data), StreamLimits{MaxRecords: 5})
+	if err != nil || len(got) != 5 {
+		t.Fatalf("at-limit read: got %d records, err %v", len(got), err)
+	}
+}
+
+func TestRecordStreamBlankLines(t *testing.T) {
+	recs := genTestDataset(t, 2, 6)
+	var buf bytes.Buffer
+	buf.WriteString("\n")
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n\n")
+	got, err := ReadJSONL(&buf)
+	if err != nil || len(got) != 2 {
+		t.Fatalf("blank-line input: got %d records, err %v", len(got), err)
+	}
+}
+
+func reportString(t *testing.T, a *Analysis) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := a.WriteReport(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func TestAnalyzeStreamMatchesAnalyze(t *testing.T) {
+	recs := genTestDataset(t, 400, 7)
+	cfg := AnalysisConfig{}
+	want := Analyze(recs, cfg)
+
+	for _, workers := range []int{1, 2, 8} {
+		got, err := AnalyzeStream(&SliceSource{Recs: recs}, cfg, StreamOptions{
+			Workers: workers, KeepResults: true, ExactShiftCDF: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rw, rg := reportString(t, want), reportString(t, got); rw != rg {
+			t.Fatalf("workers=%d: report differs:\n--- want\n%s\n--- got\n%s", workers, rw, rg)
+		}
+		if got.Validate() != want.Validate() {
+			t.Fatalf("workers=%d: validation %+v, want %+v", workers, got.Validate(), want.Validate())
+		}
+		if len(got.Results) != len(want.Results) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got.Results), len(want.Results))
+		}
+		for i := range got.Results {
+			if got.Results[i].ID != want.Results[i].ID || got.Results[i].Category != want.Results[i].Category {
+				t.Fatalf("workers=%d: result %d = %s/%s, want %s/%s (results must be in input order)",
+					workers, i, got.Results[i].ID, got.Results[i].Category,
+					want.Results[i].ID, want.Results[i].Category)
+			}
+		}
+	}
+}
+
+func TestAnalyzeStreamSketchDeterministic(t *testing.T) {
+	recs := genTestDataset(t, 400, 8)
+	cfg := AnalysisConfig{}
+	var first string
+	for _, workers := range []int{1, 4, 8} {
+		a, err := AnalyzeStream(&SliceSource{Recs: recs}, cfg, StreamOptions{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Results != nil {
+			t.Fatalf("workers=%d: aggregate mode retained %d results", workers, len(a.Results))
+		}
+		r := reportString(t, a)
+		if first == "" {
+			first = r
+		} else if r != first {
+			t.Fatalf("workers=%d: sketch report differs from workers=1:\n%s\nvs\n%s", workers, r, first)
+		}
+	}
+}
+
+func TestSketchTracksExactCDF(t *testing.T) {
+	recs := genTestDataset(t, 600, 9)
+	exact, err := AnalyzeStream(&SliceSource{Recs: recs}, AnalysisConfig{}, StreamOptions{Workers: 1, ExactShiftCDF: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sketched, err := AnalyzeStream(&SliceSource{Recs: recs}, AnalysisConfig{}, StreamOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.ShiftLen() == 0 || exact.ShiftLen() != sketched.ShiftLen() {
+		t.Fatalf("shift sample counts: exact %d, sketched %d", exact.ShiftLen(), sketched.ShiftLen())
+	}
+	// Equivalence is checked in rank space: a sketch quantile's value
+	// can legitimately sit anywhere in a gap between samples, but the
+	// exact CDF evaluated at that value must land within a small
+	// cumulative-fraction tolerance of the requested q (the sketch's
+	// rank error is bounded by the occupancy of a single bin).
+	const tol = 0.02
+	for _, pt := range sketched.ShiftPoints(21) {
+		v, q := pt[0], pt[1]
+		if q == 0 || q == 1 {
+			continue // exact extremes by construction
+		}
+		if got := exact.ShiftCDF.At(v); got < q-tol || got > q+tol {
+			t.Fatalf("sketch q=%.3f -> value %.6f, but exact CDF puts that value at fraction %.4f (tol %.2f)", q, v, got, tol)
+		}
+	}
+	// The compact summary strings must agree to display precision on
+	// every quantile they print (modulo the CDF~ marker).
+	es, ss := exact.ShiftCDF.String(), sketched.ShiftSketch.String()
+	if minE, minS := es[:len("CDF(min=0.2")], strings.Replace(ss, "CDF~(", "CDF(", 1)[:len("CDF(min=0.2")]; minE != minS {
+		t.Fatalf("summary prefixes diverge: %q vs %q", es, ss)
+	}
+}
+
+func TestAnalyzeStreamPropagatesSourceError(t *testing.T) {
+	recs := genTestDataset(t, 10, 10)
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()[:buf.Len()/2]
+	for _, workers := range []int{1, 4} {
+		s, err := NewRecordStream(bytes.NewReader(b), StreamLimits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = AnalyzeStream(s, AnalysisConfig{}, StreamOptions{Workers: workers})
+		if err == nil || !strings.Contains(err.Error(), "decoding record") {
+			t.Fatalf("workers=%d: truncated stream: got %v, want decoding error", workers, err)
+		}
+		s.Close()
+	}
+}
+
+func TestGenSourceMatchesGenerate(t *testing.T) {
+	cfg := GeneratorConfig{Flows: 200, Seed: 11}
+	want := Generate(cfg)
+	src := NewGenSource(cfg)
+	var rec Record
+	for i := range want {
+		if err := src.Next(&rec); err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if rec.ID != want[i].ID || rec.MeanThroughputBps != want[i].MeanThroughputBps ||
+			rec.TruthLabel != want[i].TruthLabel || len(rec.Snapshots) != len(want[i].Snapshots) {
+			t.Fatalf("record %d: streamed record differs from Generate's", i)
+		}
+	}
+	if err := src.Next(&rec); err != io.EOF {
+		t.Fatalf("after last record: got %v, want io.EOF", err)
+	}
+}
+
+func TestGenerateJSONLSequentialMatchesWriteJSONL(t *testing.T) {
+	cfg := GeneratorConfig{Flows: 150, Seed: 12}
+	var want bytes.Buffer
+	if err := WriteJSONL(&want, Generate(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	var got bytes.Buffer
+	stats, err := GenerateJSONL(&got, cfg, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Records != 150 {
+		t.Fatalf("stats.Records = %d, want 150", stats.Records)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("streamed legacy-mode output differs from Generate + WriteJSONL")
+	}
+}
+
+func TestGenerateJSONLShardedDeterministic(t *testing.T) {
+	cfg := GeneratorConfig{Flows: 500, Seed: 13, ShardSize: 64}
+	var seq bytes.Buffer
+	seqStats, err := GenerateJSONL(&seq, cfg, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		var par bytes.Buffer
+		parStats, err := GenerateJSONL(&par, cfg, workers, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(par.Bytes(), seq.Bytes()) {
+			t.Fatalf("workers=%d: sharded output differs from sequential", workers)
+		}
+		if parStats.Records != seqStats.Records {
+			t.Fatalf("workers=%d: %d records, want %d", workers, parStats.Records, seqStats.Records)
+		}
+		for l, n := range seqStats.ByLabel {
+			if parStats.ByLabel[l] != n {
+				t.Fatalf("workers=%d: label %s count %d, want %d", workers, l, parStats.ByLabel[l], n)
+			}
+		}
+	}
+}
+
+func TestGenerateJSONLShardedGzip(t *testing.T) {
+	cfg := GeneratorConfig{Flows: 200, Seed: 14, ShardSize: 32}
+	var plain, zipped bytes.Buffer
+	if _, err := GenerateJSONL(&plain, cfg, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := GenerateJSONL(&zipped, cfg, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	gz, err := gzip.NewReader(&zipped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(gz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unzipped, plain.Bytes()) {
+		t.Fatal("gzipped sharded output does not decompress to the plain output")
+	}
+}
+
+func TestGenerateShardedViaGenSource(t *testing.T) {
+	// A single GenSource over a sharded config must agree with the
+	// parallel sharded writer (it reseeds at every shard boundary).
+	cfg := GeneratorConfig{Flows: 130, Seed: 15, ShardSize: 40}
+	var want bytes.Buffer
+	if _, err := GenerateJSONL(&want, cfg, 4, false); err != nil {
+		t.Fatal(err)
+	}
+	src := NewGenSource(cfg)
+	var got bytes.Buffer
+	jw := NewJSONLWriter(&got, false)
+	var rec Record
+	for {
+		if err := src.Next(&rec); err != nil {
+			if err != io.EOF {
+				t.Fatal(err)
+			}
+			break
+		}
+		if err := jw.Write(&rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := jw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatal("sequential sharded GenSource output differs from GenerateJSONL")
+	}
+}
+
+func TestAnalyzeStreamZeroAllocSteadyState(t *testing.T) {
+	recs := genTestDataset(t, 64, 16)
+	src := &SliceSource{Recs: recs}
+	var sc scratch
+	var rec Record
+	cfg := AnalysisConfig{}.norm()
+	// Warm up the scratch on the largest flows.
+	for i := 0; i < len(recs); i++ {
+		rec = recs[i]
+		analyzeInto(&rec, cfg, &sc)
+	}
+	src.i = 0
+	i := 0
+	allocs := testing.AllocsPerRun(60, func() {
+		rec = recs[i%len(recs)]
+		analyzeInto(&rec, cfg, &sc)
+		i++
+	})
+	if allocs != 0 {
+		t.Errorf("analyzeInto allocates %.1f objects per flow after warmup, want 0", allocs)
+	}
+}
+
+func TestWriteReportReturnsWriterError(t *testing.T) {
+	recs := genTestDataset(t, 100, 17)
+	a := Analyze(recs, AnalysisConfig{})
+	if err := a.WriteReport(failingWriter{}); err == nil {
+		t.Fatal("WriteReport swallowed the writer error")
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write(p []byte) (int, error) { return 0, fmt.Errorf("disk full") }

@@ -71,7 +71,7 @@ func init() {
 		}),
 		Table: func(w io.Writer, v any) {
 			if r, ok := v.(*core.Fig2Result); ok {
-				r.WriteReport(w)
+				_ = r.WriteReport(w)
 			}
 		},
 	})
