@@ -1,47 +1,108 @@
-// Command probed runs the elasticity probe server: it acknowledges
-// probe packets with receive timestamps, the reflector side of the
-// paper's proposed active measurement study.
+// Command probed runs the elasticity probe server as a fleet
+// measurement node: concurrent readers over a sharded session table,
+// per-source and global admission control, a durable results spool in
+// the M-Lab record schema, and a graceful SIGTERM drain.
 //
 // Usage:
 //
-//	probed [-addr :4460] [-admin 127.0.0.1:6060] [-v]
+//	probed [-addr :4460] [-readers 0] [-shards 16]
+//	       [-max-sessions 1024] [-session-ttl 2m]
+//	       [-per-source-pps 0] [-global-pps 0]
+//	       [-spool DIR] [-spool-max-bytes 64Mi] [-fsync-every 0]
+//	       [-drain-timeout 10s] [-admin 127.0.0.1:6060] [-v]
+//
+// On SIGTERM or SIGINT the node stops admitting sessions (new Hellos
+// get Busy|FlagDraining replies), waits up to -drain-timeout for
+// admitted sessions to finish, force-finalizes the rest, and flushes
+// every session summary to the spool before exiting. A second signal
+// exits immediately. The spool directory is plain JSONL consumable by
+// mlabanalyze:
+//
+//	cat spool/*.jsonl | mlabanalyze
+//
+// The admin endpoint adds /healthz (full health JSON, always 200 while
+// the process is up) and /readyz (200 while accepting sessions, 503
+// once draining — wire this one into load-balancer checks).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/probe"
+	"repro/internal/probe/spool"
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "probed:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	addr := flag.String("addr", ":4460", "UDP listen address")
 	verbose := flag.Bool("v", false, "log sessions")
+	readers := flag.Int("readers", 0, "reader goroutines sharing the socket (0 = min(4, GOMAXPROCS))")
+	shards := flag.Int("shards", 16, "session table shards (rounded up to a power of two)")
 	maxSessions := flag.Int("max-sessions", 1024, "concurrent session cap")
 	sessionTTL := flag.Duration("session-ttl", 2*time.Minute,
 		"evict sessions idle for this long")
+	perSourcePPS := flag.Float64("per-source-pps", 0,
+		"per-source-IP packet rate limit ahead of admission (0 = off)")
+	globalPPS := flag.Float64("global-pps", 0,
+		"global packets-per-second ceiling with prioritized shedding (0 = off)")
+	spoolDir := flag.String("spool", "",
+		"append session summaries to size-rotated JSONL files in this directory")
+	spoolMaxBytes := flag.Int64("spool-max-bytes", 64<<20,
+		"rotate spool files at this size")
+	fsyncEvery := flag.Int("fsync-every", 0,
+		"fsync the active spool file every N records (0 = only on rotation/close)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
+		"wait this long for sessions to finish after SIGTERM before force-finalizing")
 	admin := flag.String("admin", "",
-		"serve an HTTP admin endpoint (expvar, pprof, /sessions) on this address")
+		"serve an HTTP admin endpoint (expvar, pprof, /sessions, /healthz, /readyz) on this address")
 	flag.Parse()
 
 	cfg := probe.ServerConfig{
-		Addr:        *addr,
-		MaxSessions: *maxSessions,
-		SessionTTL:  *sessionTTL,
+		Addr:         *addr,
+		MaxSessions:  *maxSessions,
+		SessionTTL:   *sessionTTL,
+		Readers:      *readers,
+		Shards:       *shards,
+		PerSourcePPS: *perSourcePPS,
+		GlobalPPS:    *globalPPS,
 	}
 	if *verbose {
 		cfg.Logf = log.Printf
 	}
+
+	var sp *spool.Writer
+	if *spoolDir != "" {
+		var err error
+		sp, err = spool.Open(spool.Config{
+			Dir:          *spoolDir,
+			MaxFileBytes: *spoolMaxBytes,
+			FsyncEvery:   *fsyncEvery,
+		})
+		if err != nil {
+			return err
+		}
+		cfg.Sink = sp
+		log.Printf("probed: spooling session records to %s", *spoolDir)
+	}
+
 	srv, err := probe.NewServer(cfg)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "probed:", err)
-		os.Exit(1)
+		return err
 	}
 	log.Printf("probed: listening on %v", srv.Addr())
 
@@ -51,26 +112,69 @@ func main() {
 		reg.PublishExpvar("probed")
 		mux := obs.AdminMux(map[string]http.Handler{
 			"/sessions": obs.JSONHandler(func() interface{} { return srv.Sessions() }),
+			"/healthz":  obs.JSONHandler(func() interface{} { return srv.Health() }),
+			"/readyz":   readyHandler(srv),
 		})
 		ln, err := obs.ServeAdmin(*admin, mux)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "probed: admin:", err)
-			os.Exit(1)
+			return fmt.Errorf("admin: %w", err)
 		}
 		defer ln.Close()
 		log.Printf("probed: admin endpoint on http://%v", ln.Addr())
 	}
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	go func() {
-		<-sig
-		log.Printf("probed: shutting down (sessions=%d data=%d acks=%d)",
-			srv.Stats.Sessions.Load(), srv.Stats.DataPackets.Load(), srv.Stats.Acks.Load())
-		srv.Close()
-	}()
-	if err := srv.Serve(); err != nil {
-		fmt.Fprintln(os.Stderr, "probed:", err)
-		os.Exit(1)
+	// First SIGTERM/SIGINT begins the drain; a second one cancels the
+	// drain context, which force-finalizes whatever is still live.
+	ctx, stopSig := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSig()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	select {
+	case err := <-serveErr:
+		if sp != nil {
+			sp.Close()
+		}
+		return err
+	case <-ctx.Done():
 	}
+	stopSig() // restore default handling: a second signal kills the process
+
+	log.Printf("probed: draining %d active sessions (deadline %v)",
+		srv.ActiveSessions(), *drainTimeout)
+	srv.BeginDrain()
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	forced := srv.Drain(dctx)
+	cancel()
+	<-serveErr
+	if forced > 0 {
+		log.Printf("probed: drain deadline hit, force-finalized %d sessions", forced)
+	}
+
+	if sp != nil {
+		if err := sp.Close(); err != nil {
+			return fmt.Errorf("spool close: %w", err)
+		}
+		st := sp.Stats()
+		log.Printf("probed: spool flushed (%d records, %d rotations)", st.Appended, st.Rotations)
+	}
+	log.Printf("probed: shut down (sessions=%d data=%d acks=%d drained=%d)",
+		srv.Stats.Sessions.Load(), srv.Stats.DataPackets.Load(),
+		srv.Stats.Acks.Load(), srv.Stats.Drained.Load())
+	return nil
+}
+
+// readyHandler is the load-balancer readiness check: 200 while the
+// node accepts new sessions, 503 once draining or closed so traffic
+// shifts away while admitted sessions finish.
+func readyHandler(srv *probe.Server) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if h := srv.Health(); !h.Ready {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
 }

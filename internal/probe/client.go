@@ -1,6 +1,7 @@
 package probe
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"net"
@@ -11,6 +12,20 @@ import (
 	"repro/internal/nimbus"
 	"repro/internal/stats"
 	"repro/internal/transport"
+)
+
+// Handshake failure classes, distinguishable with errors.Is so a fleet
+// scheduler can react differently to "pick another server" (draining),
+// "back off and retry later" (busy), and "maybe packet loss"
+// (unresponsive).
+var (
+	// ErrServerBusy: the server explicitly rejected admission (at
+	// capacity or rate-limiting this source) for the whole retry
+	// budget.
+	ErrServerBusy = errors.New("probe: server busy")
+	// ErrServerDraining: the server is shutting down; retrying it is
+	// pointless.
+	ErrServerDraining = errors.New("probe: server draining")
 )
 
 // ClientConfig parameterizes an elasticity measurement run.
@@ -45,6 +60,11 @@ type ClientConfig struct {
 	// that blackholed. The run then returns a Truncated report instead
 	// of hanging until Duration (default 3s).
 	StallTimeout time.Duration
+	// ByeRetransmits is how many extra Bye copies to send beyond the
+	// first (default 2). Bye is fire-and-forget; one lost datagram
+	// would otherwise leak the server's session slot until its TTL.
+	// Negative disables retransmission.
+	ByeRetransmits int
 }
 
 func (c ClientConfig) norm() ClientConfig {
@@ -65,6 +85,9 @@ func (c ClientConfig) norm() ClientConfig {
 	}
 	if c.StallTimeout <= 0 {
 		c.StallTimeout = 3 * time.Second
+	}
+	if c.ByeRetransmits == 0 {
+		c.ByeRetransmits = 2
 	}
 	return c
 }
@@ -126,6 +149,7 @@ func (r *Report) Verdict() string {
 // Client runs the active measurement against a probe server.
 type Client struct {
 	cfg ClientConfig
+	rng *rand.Rand // handshake jitter; only touched before the data phase
 
 	mu     sync.Mutex
 	cc     *nimbus.CCA
@@ -159,6 +183,7 @@ func NewClient(cfg ClientConfig) *Client {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	return &Client{
 		cfg:       cfg,
+		rng:       rng,
 		cc:        nimbus.NewCCA(cfg.Nimbus),
 		sessionID: rng.Uint64(),
 	}
@@ -215,27 +240,45 @@ func (c *Client) Run() (*Report, error) {
 	wg.Wait()
 	c.endedAt = time.Now()
 
-	// Bye (best effort).
-	bye := Header{Type: TypeBye, Session: c.sessionID, SendNano: c.nowNano()}
+	// Bye, retransmitted: it is fire-and-forget on the wire, and a
+	// single lost copy would leak our session slot on the server until
+	// its TTL sweep. A few spaced copies make that loss quadratically
+	// unlikely; the server treats duplicates as no-ops.
 	buf := make([]byte, HeaderSize)
-	if n, err := bye.Encode(buf); err == nil {
-		conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
-		_, _ = conn.Write(buf[:n])
+	for i := 0; i <= c.cfg.ByeRetransmits; i++ {
+		if i > 0 {
+			time.Sleep(20 * time.Millisecond)
+		}
+		bye := Header{Type: TypeBye, Session: c.sessionID, Seq: uint64(i), SendNano: c.nowNano()}
+		if n, err := bye.Encode(buf); err == nil {
+			conn.SetWriteDeadline(time.Now().Add(100 * time.Millisecond))
+			if _, err := conn.Write(buf[:n]); err != nil {
+				break // server gone; nothing left to release
+			}
+		}
 	}
 	return c.report(), nil
 }
 
-// handshake exchanges Hello/Hi with exponential backoff, verifying the
-// server is alive before the measurement clock starts. The reply's RTT
-// seeds the estimator.
+// handshake exchanges Hello/Hi with jittered exponential backoff,
+// verifying the server is alive before the measurement clock starts.
+// The Hello advertises FlagBusyAware, so a server at capacity answers
+// with an explicit Busy instead of silence: the client then backs off
+// by the server's retry-after hint (jittered, so a synchronized fleet
+// does not thundering-herd a recovering server) rather than burning
+// the timeout schedule, and a draining server fails the run
+// immediately with ErrServerDraining. The Hi reply's RTT seeds the
+// estimator.
 func (c *Client) handshake(conn *net.UDPConn) error {
 	out := make([]byte, HeaderSize)
 	in := make([]byte, 64*1024)
 	timeout := c.cfg.HandshakeTimeout
 	const maxTimeout = 2 * time.Second
+	busySeen := 0
 	for attempt := 0; attempt < c.cfg.HandshakeAttempts; attempt++ {
 		h := Header{
 			Type:     TypeHello,
+			Flags:    FlagBusyAware,
 			Session:  c.sessionID,
 			Seq:      uint64(attempt),
 			SendNano: c.nowNano(),
@@ -247,7 +290,11 @@ func (c *Client) handshake(conn *net.UDPConn) error {
 		if _, err := conn.Write(out[:n]); err != nil {
 			return fmt.Errorf("probe: sending hello: %w", err)
 		}
-		attemptDeadline := time.Now().Add(timeout)
+		// Jitter the attempt window ±25% so a fleet of clients started
+		// together decorrelates instead of re-colliding every retry.
+		window := timeout + time.Duration((c.rng.Float64()-0.5)*0.5*float64(timeout))
+		attemptDeadline := time.Now().Add(window)
+		busyThisAttempt := false
 		for {
 			conn.SetReadDeadline(attemptDeadline)
 			rn, err := conn.Read(in)
@@ -261,20 +308,45 @@ func (c *Client) handshake(conn *net.UDPConn) error {
 				break // attempt over: back off and resend
 			}
 			hi, err := Decode(in[:rn])
-			if err != nil || hi.Type != TypeHi || hi.Session != c.sessionID {
-				continue // stray packet; keep waiting for our Hi
+			if err != nil || hi.Session != c.sessionID {
+				continue // stray packet; keep waiting for our reply
 			}
-			if rtt := time.Duration(c.nowNano() - hi.EchoNano); rtt > 0 {
-				c.mu.Lock()
-				c.updateRTT(rtt)
-				c.mu.Unlock()
+			switch hi.Type {
+			case TypeHi:
+				if rtt := time.Duration(c.nowNano() - hi.EchoNano); rtt > 0 {
+					c.mu.Lock()
+					c.updateRTT(rtt)
+					c.mu.Unlock()
+				}
+				return nil
+			case TypeBusy:
+				if hi.Flags&FlagDraining != 0 {
+					return fmt.Errorf("probe: server %s: %w", c.cfg.Server, ErrServerDraining)
+				}
+				busySeen++
+				busyThisAttempt = true
+				// Back off by the server's hint (Size = milliseconds),
+				// jittered over [0.5x, 1.5x].
+				hint := time.Duration(hi.Size) * time.Millisecond
+				if hint <= 0 {
+					hint = timeout
+				}
+				time.Sleep(hint/2 + time.Duration(c.rng.Float64()*float64(hint)))
+			default:
+				continue // stray packet; keep waiting for our reply
 			}
-			return nil
+			break // Busy handled: next attempt
 		}
-		timeout *= 2
-		if timeout > maxTimeout {
-			timeout = maxTimeout
+		if !busyThisAttempt {
+			timeout *= 2
+			if timeout > maxTimeout {
+				timeout = maxTimeout
+			}
 		}
+	}
+	if busySeen > 0 {
+		return fmt.Errorf("probe: server %s refused admission %d times over %d attempts: %w",
+			c.cfg.Server, busySeen, c.cfg.HandshakeAttempts, ErrServerBusy)
 	}
 	return fmt.Errorf("probe: server %s unresponsive after %d handshake attempts",
 		c.cfg.Server, c.cfg.HandshakeAttempts)

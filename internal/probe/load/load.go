@@ -1,0 +1,556 @@
+// Package load is the probe server's load harness: it replays
+// thousands of concurrent simulated probe clients — ramped arrivals,
+// fixed-rate pacing, optional client-side loss/jitter impairment —
+// against one server and reports the session ceiling, admission
+// outcomes, shed rates, and ack-latency quantiles. cmd/probeload wraps
+// it as a CLI with a pass/fail SLO line for CI.
+package load
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/probe"
+	"repro/internal/stats"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// Server is the target probe server address.
+	Server string
+	// Clients is the number of simulated probe clients (default 100).
+	Clients int
+	// Ramp spreads client arrivals over this window (default 1s).
+	Ramp time.Duration
+	// Arrivals is the ramp schedule: "uniform" (default) spaces
+	// arrivals evenly; "poisson" draws exponential inter-arrivals with
+	// the same mean rate, the bursty open-loop model.
+	Arrivals string
+	// Duration is each client's data phase length (default 10s).
+	Duration time.Duration
+	// RateBps is each client's sending rate (default 128 kbit/s).
+	RateBps float64
+	// PacketSize is the data packet wire size (default 256 bytes —
+	// small packets stress packet-rate, which is what a fleet node
+	// saturates on).
+	PacketSize int
+	// Seed makes the run reproducible: per-client seeds derive from it.
+	Seed int64
+
+	// HandshakeAttempts/HandshakeTimeout mirror the real client's
+	// retry budget (defaults 4 attempts, 200ms first timeout).
+	HandshakeAttempts int
+	HandshakeTimeout  time.Duration
+
+	// Loss drops each outgoing data packet with this probability —
+	// client-side fault injection standing in for an impaired access
+	// link.
+	Loss float64
+	// JitterMax delays each send by uniform [0, JitterMax) — client-
+	// side timing noise.
+	JitterMax time.Duration
+
+	// LatencyCeiling bounds the ack-latency sketch's range (default
+	// 2s; samples above clamp into the top bin, min/max stay exact).
+	LatencyCeiling time.Duration
+
+	// SampleActive, when non-nil, is polled every 10ms for the
+	// server's tracked-session count (self-host mode wires
+	// Server.ActiveSessions here) to find the observed ceiling and
+	// check for over-admission.
+	SampleActive func() int
+}
+
+func (c Config) norm() Config {
+	if c.Clients <= 0 {
+		c.Clients = 100
+	}
+	if c.Ramp <= 0 {
+		c.Ramp = time.Second
+	}
+	if c.Arrivals == "" {
+		c.Arrivals = "uniform"
+	}
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Second
+	}
+	if c.RateBps <= 0 {
+		c.RateBps = 128e3
+	}
+	if c.PacketSize < probe.HeaderSize {
+		c.PacketSize = 256
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.HandshakeAttempts <= 0 {
+		c.HandshakeAttempts = 4
+	}
+	if c.HandshakeTimeout <= 0 {
+		c.HandshakeTimeout = 200 * time.Millisecond
+	}
+	if c.LatencyCeiling <= 0 {
+		c.LatencyCeiling = 2 * time.Second
+	}
+	return c
+}
+
+// Result aggregates a run's client-side observations.
+type Result struct {
+	Clients int
+	// Admission outcomes (one per client).
+	Admitted     int // completed the handshake
+	Busy         int // exhausted retries against explicit Busy rejections
+	Draining     int // told the server is shutting down
+	Unresponsive int // handshake timed out with no signal at all
+	Errors       int // dial/socket errors
+
+	// Data-phase totals across admitted clients.
+	Sent  int64
+	Acked int64
+
+	// PeakConcurrent is the largest number of clients simultaneously
+	// inside their data phase (client-observed concurrency).
+	PeakConcurrent int
+	// PeakServerSessions is the largest SampleActive reading (0 when
+	// unsampled) — the observed session ceiling; compare against the
+	// server's cap for over-admission.
+	PeakServerSessions int
+
+	// Latency is the merged ack-latency sketch (client send to ack
+	// receive).
+	Latency *stats.Sketch
+
+	Elapsed time.Duration
+}
+
+// LossRate is 1 - acked/sent across admitted clients.
+func (r *Result) LossRate() float64 {
+	if r.Sent == 0 {
+		return 0
+	}
+	l := 1 - float64(r.Acked)/float64(r.Sent)
+	if l < 0 {
+		return 0
+	}
+	return l
+}
+
+// LatencyQuantile returns the q ack-latency quantile (0 when no acks).
+func (r *Result) LatencyQuantile(q float64) time.Duration {
+	if r.Latency == nil {
+		return 0
+	}
+	v, err := r.Latency.Quantile(q)
+	if err != nil {
+		return 0
+	}
+	return time.Duration(v * float64(time.Millisecond))
+}
+
+// accumulator shards the hot counters and the latency sketch so 2,000
+// clients don't serialize on one lock; sketches merge at the end
+// (order-independent by construction).
+type accumulator struct {
+	mu     sync.Mutex
+	sketch *stats.Sketch
+}
+
+const accShards = 16
+
+// Run executes the load: one goroutine pair per client, arrivals per
+// the ramp schedule. Cancelling ctx cuts the data phases short but
+// still reports what was observed.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.norm()
+	if cfg.Server == "" {
+		return nil, fmt.Errorf("probeload: Server is required")
+	}
+	offsets, err := arrivalOffsets(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	ceilMs := float64(cfg.LatencyCeiling) / float64(time.Millisecond)
+	accs := make([]accumulator, accShards)
+	for i := range accs {
+		accs[i].sketch = stats.NewSketch(0, ceilMs, 4096)
+	}
+
+	var (
+		admitted, busy, draining, unresponsive, errs atomic.Int64
+		sent, acked                                  atomic.Int64
+		cur, peak                                    atomic.Int64
+	)
+	bumpPeak := func(v int64) {
+		for {
+			p := peak.Load()
+			if v <= p || peak.CompareAndSwap(p, v) {
+				return
+			}
+		}
+	}
+
+	// Server-side ceiling sampler.
+	var peakServer atomic.Int64
+	sampleQuit := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	if cfg.SampleActive != nil {
+		sampleWG.Add(1)
+		go func() {
+			defer sampleWG.Done()
+			t := time.NewTicker(10 * time.Millisecond)
+			defer t.Stop()
+			for {
+				select {
+				case <-sampleQuit:
+					return
+				case <-t.C:
+					v := int64(cfg.SampleActive())
+					for {
+						p := peakServer.Load()
+						if v <= p || peakServer.CompareAndSwap(p, v) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if !sleepUntil(ctx, start.Add(offsets[i])) {
+				return
+			}
+			w := &worker{
+				cfg:   cfg,
+				rng:   rand.New(rand.NewSource(faults.DeriveSeed(cfg.Seed, fmt.Sprintf("probeload/client/%d", i)))),
+				acc:   &accs[i%accShards],
+				enter: func() { bumpPeak(cur.Add(1)) },
+				leave: func() { cur.Add(-1) },
+			}
+			switch w.run(ctx) {
+			case outAdmitted:
+				admitted.Add(1)
+			case outBusy:
+				busy.Add(1)
+			case outDraining:
+				draining.Add(1)
+			case outUnresponsive:
+				unresponsive.Add(1)
+			default:
+				errs.Add(1)
+			}
+			sent.Add(w.sent)
+			acked.Add(w.acked)
+		}(i)
+	}
+	wg.Wait()
+	close(sampleQuit)
+	sampleWG.Wait()
+
+	merged := stats.NewSketch(0, ceilMs, 4096)
+	for i := range accs {
+		if err := merged.Merge(accs[i].sketch); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{
+		Clients:            cfg.Clients,
+		Admitted:           int(admitted.Load()),
+		Busy:               int(busy.Load()),
+		Draining:           int(draining.Load()),
+		Unresponsive:       int(unresponsive.Load()),
+		Errors:             int(errs.Load()),
+		Sent:               sent.Load(),
+		Acked:              acked.Load(),
+		PeakConcurrent:     int(peak.Load()),
+		PeakServerSessions: int(peakServer.Load()),
+		Latency:            merged,
+		Elapsed:            time.Since(start),
+	}, nil
+}
+
+// arrivalOffsets expands the ramp schedule into per-client start
+// offsets.
+func arrivalOffsets(cfg Config) ([]time.Duration, error) {
+	out := make([]time.Duration, cfg.Clients)
+	switch cfg.Arrivals {
+	case "uniform":
+		for i := range out {
+			out[i] = time.Duration(float64(cfg.Ramp) * float64(i) / float64(cfg.Clients))
+		}
+	case "poisson":
+		rng := rand.New(rand.NewSource(faults.DeriveSeed(cfg.Seed, "probeload/arrivals")))
+		mean := float64(cfg.Ramp) / float64(cfg.Clients)
+		var at float64
+		for i := range out {
+			at += rng.ExpFloat64() * mean
+			out[i] = time.Duration(at)
+		}
+	default:
+		return nil, fmt.Errorf("probeload: unknown arrival schedule %q (uniform, poisson)", cfg.Arrivals)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func sleepUntil(ctx context.Context, at time.Time) bool {
+	d := time.Until(at)
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+type outcome int
+
+const (
+	outAdmitted outcome = iota
+	outBusy
+	outDraining
+	outUnresponsive
+	outError
+)
+
+// worker is one simulated probe client: minimal wire protocol, fixed
+// pacing, no congestion controller — the point is to load the server,
+// not to measure elasticity.
+type worker struct {
+	cfg   Config
+	rng   *rand.Rand
+	acc   *accumulator
+	enter func() // data phase entered (concurrency gauge)
+	leave func()
+
+	sent  int64
+	acked int64
+}
+
+func (w *worker) run(ctx context.Context) outcome {
+	raddr, err := net.ResolveUDPAddr("udp", w.cfg.Server)
+	if err != nil {
+		return outError
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		return outError
+	}
+	defer conn.Close()
+
+	start := time.Now()
+	session := w.rng.Uint64()
+	nowNano := func() int64 { return time.Since(start).Nanoseconds() }
+
+	out, err := w.handshake(ctx, conn, session, nowNano)
+	if err != nil || out != outAdmitted {
+		return out
+	}
+
+	w.enter()
+	defer w.leave()
+
+	end := time.Now().Add(w.cfg.Duration)
+	stop := make(chan struct{})
+	var recvWG sync.WaitGroup
+	recvWG.Add(1)
+	go func() {
+		defer recvWG.Done()
+		w.receive(conn, session, nowNano, stop)
+	}()
+
+	w.send(ctx, conn, session, nowNano, end)
+
+	// Let trailing acks land, then release the receiver.
+	time.Sleep(30 * time.Millisecond)
+	close(stop)
+	conn.SetReadDeadline(time.Now())
+	recvWG.Wait()
+
+	// Bye, retransmitted like the real client.
+	buf := make([]byte, probe.HeaderSize)
+	for i := 0; i < 3; i++ {
+		if i > 0 {
+			time.Sleep(10 * time.Millisecond)
+		}
+		bye := probe.Header{Type: probe.TypeBye, Session: session, Seq: uint64(i), SendNano: nowNano()}
+		if n, err := bye.Encode(buf); err == nil {
+			conn.SetWriteDeadline(time.Now().Add(50 * time.Millisecond))
+			if _, err := conn.Write(buf[:n]); err != nil {
+				break
+			}
+		}
+	}
+	return outAdmitted
+}
+
+func (w *worker) handshake(ctx context.Context, conn *net.UDPConn, session uint64, nowNano func() int64) (outcome, error) {
+	out := make([]byte, probe.HeaderSize)
+	in := make([]byte, 2048)
+	timeout := w.cfg.HandshakeTimeout
+	busySeen := false
+	for attempt := 0; attempt < w.cfg.HandshakeAttempts; attempt++ {
+		if ctx.Err() != nil {
+			return outError, ctx.Err()
+		}
+		h := probe.Header{
+			Type:     probe.TypeHello,
+			Flags:    probe.FlagBusyAware,
+			Session:  session,
+			Seq:      uint64(attempt),
+			SendNano: nowNano(),
+		}
+		n, err := h.Encode(out)
+		if err != nil {
+			return outError, err
+		}
+		if _, err := conn.Write(out[:n]); err != nil {
+			return outError, err
+		}
+		window := timeout + time.Duration((w.rng.Float64()-0.5)*0.5*float64(timeout))
+		deadline := time.Now().Add(window)
+		busyThisAttempt := false
+		for {
+			conn.SetReadDeadline(deadline)
+			rn, err := conn.Read(in)
+			if err != nil {
+				break
+			}
+			hi, err := probe.Decode(in[:rn])
+			if err != nil || hi.Session != session {
+				continue
+			}
+			switch hi.Type {
+			case probe.TypeHi:
+				return outAdmitted, nil
+			case probe.TypeBusy:
+				if hi.Flags&probe.FlagDraining != 0 {
+					return outDraining, nil
+				}
+				busySeen = true
+				busyThisAttempt = true
+				hint := time.Duration(hi.Size) * time.Millisecond
+				if hint <= 0 {
+					hint = timeout
+				}
+				if !sleepCtx(ctx, hint/2+time.Duration(w.rng.Float64()*float64(hint))) {
+					return outBusy, nil
+				}
+			default:
+				continue
+			}
+			break
+		}
+		if !busyThisAttempt {
+			timeout *= 2
+		}
+	}
+	if busySeen {
+		return outBusy, nil
+	}
+	return outUnresponsive, nil
+}
+
+func (w *worker) send(ctx context.Context, conn *net.UDPConn, session uint64, nowNano func() int64, end time.Time) {
+	buf := make([]byte, w.cfg.PacketSize)
+	gap := time.Duration(float64(w.cfg.PacketSize*8) / w.cfg.RateBps * float64(time.Second))
+	next := time.Now()
+	var seq uint64
+	for time.Now().Before(end) && ctx.Err() == nil {
+		if now := time.Now(); now.Before(next) {
+			wait := next.Sub(now)
+			if wait > 50*time.Millisecond {
+				wait = 50 * time.Millisecond
+			}
+			time.Sleep(wait)
+			continue
+		}
+		if w.cfg.JitterMax > 0 {
+			time.Sleep(time.Duration(w.rng.Float64() * float64(w.cfg.JitterMax)))
+		}
+		if w.cfg.Loss > 0 && w.rng.Float64() < w.cfg.Loss {
+			// Impairment: the packet is "lost" before the wire. Pacing
+			// still advances; the sequence number is consumed.
+			seq++
+			next = next.Add(gap)
+			continue
+		}
+		h := probe.Header{
+			Type:     probe.TypeData,
+			Session:  session,
+			Seq:      seq,
+			SendNano: nowNano(),
+			Size:     uint16(w.cfg.PacketSize),
+		}
+		if _, err := h.Encode(buf); err != nil {
+			return
+		}
+		if _, err := conn.Write(buf); err != nil {
+			return
+		}
+		seq++
+		w.sent++
+		next = next.Add(gap)
+		if behind := time.Now(); next.Before(behind.Add(-100 * time.Millisecond)) {
+			next = behind
+		}
+	}
+}
+
+func (w *worker) receive(conn *net.UDPConn, session uint64, nowNano func() int64, stop chan struct{}) {
+	buf := make([]byte, 2048)
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		n, err := conn.Read(buf)
+		if err != nil {
+			continue
+		}
+		h, err := probe.Decode(buf[:n])
+		if err != nil || h.Type != probe.TypeAck || h.Session != session {
+			continue
+		}
+		lat := nowNano() - h.EchoNano
+		if lat < 0 {
+			continue
+		}
+		w.acked++
+		w.acc.mu.Lock()
+		w.acc.sketch.Add(float64(lat) / 1e6)
+		w.acc.mu.Unlock()
+	}
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -1,0 +1,173 @@
+package load
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/probe"
+)
+
+// TestRunAdmitsAllUnderCapacity: a small in-process run where the
+// server has room for everyone — every client admits, data flows, and
+// the latency sketch fills.
+func TestRunAdmitsAllUnderCapacity(t *testing.T) {
+	srv, err := probe.NewServer(probe.ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 64, SessionTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	res, err := Run(context.Background(), Config{
+		Server:       srv.Addr().String(),
+		Clients:      20,
+		Ramp:         100 * time.Millisecond,
+		Duration:     400 * time.Millisecond,
+		RateBps:      64e3,
+		PacketSize:   128,
+		Seed:         7,
+		SampleActive: srv.ActiveSessions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted != 20 {
+		t.Errorf("admitted %d/20 (busy %d, draining %d, unresponsive %d, errors %d)",
+			res.Admitted, res.Busy, res.Draining, res.Unresponsive, res.Errors)
+	}
+	if res.Errors != 0 {
+		t.Errorf("%d client errors", res.Errors)
+	}
+	if res.Acked == 0 {
+		t.Error("no data acked")
+	}
+	if res.PeakConcurrent == 0 || res.PeakConcurrent > 20 {
+		t.Errorf("peak concurrency %d outside (0, 20]", res.PeakConcurrent)
+	}
+	if res.PeakServerSessions == 0 || res.PeakServerSessions > 64 {
+		t.Errorf("peak server sessions %d outside (0, 64]", res.PeakServerSessions)
+	}
+	if q := res.LatencyQuantile(0.99); q <= 0 {
+		t.Errorf("ack latency p99 = %v, want > 0", q)
+	}
+	if lr := res.LossRate(); lr < 0 || lr > 1 {
+		t.Errorf("loss rate %f outside [0, 1]", lr)
+	}
+}
+
+// TestRunReportsBusyAtCap: with a server capped well below the client
+// count, the harness reports the overflow as Busy — explicit admission
+// rejections, not unresponsiveness — and the cap holds exactly.
+func TestRunReportsBusyAtCap(t *testing.T) {
+	srv, err := probe.NewServer(probe.ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 5, SessionTTL: time.Minute,
+		BusyRetryHint: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	// One handshake attempt each: an overflow client must not sneak in
+	// later once an admitted client's session ends and frees a slot.
+	res, err := Run(context.Background(), Config{
+		Server:            srv.Addr().String(),
+		Clients:           12,
+		Ramp:              50 * time.Millisecond,
+		Duration:          500 * time.Millisecond,
+		RateBps:           64e3,
+		PacketSize:        128,
+		Seed:              8,
+		HandshakeAttempts: 1,
+		HandshakeTimeout:  100 * time.Millisecond,
+		SampleActive:      srv.ActiveSessions,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Admitted != 5 {
+		t.Errorf("admitted %d, want exactly the cap of 5", res.Admitted)
+	}
+	if res.Busy != 7 {
+		t.Errorf("busy %d, want the 7 overflow clients (unresponsive %d, errors %d)",
+			res.Busy, res.Unresponsive, res.Errors)
+	}
+	if res.PeakServerSessions > 5 {
+		t.Errorf("peak server sessions %d over-admitted past the cap", res.PeakServerSessions)
+	}
+	if res.Unresponsive != 0 {
+		t.Errorf("%d clients saw silence; a busy server must signal explicitly", res.Unresponsive)
+	}
+}
+
+// TestRunHonorsContextCancel: cancelling mid-run returns promptly with
+// partial results instead of hanging for the full duration.
+func TestRunHonorsContextCancel(t *testing.T) {
+	srv, err := probe.NewServer(probe.ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 64, SessionTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	startAt := time.Now()
+	res, err := Run(ctx, Config{
+		Server:     srv.Addr().String(),
+		Clients:    10,
+		Ramp:       50 * time.Millisecond,
+		Duration:   30 * time.Second,
+		RateBps:    64e3,
+		PacketSize: 128,
+		Seed:       9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(startAt); el > 5*time.Second {
+		t.Errorf("cancelled run took %v", el)
+	}
+	if res.Clients != 10 {
+		t.Errorf("result covers %d clients, want 10", res.Clients)
+	}
+}
+
+// TestArrivalSchedules: both schedules produce one sorted offset per
+// client, deterministically per seed; uniform stays inside the ramp.
+func TestArrivalSchedules(t *testing.T) {
+	for _, kind := range []string{"uniform", "poisson"} {
+		cfg := Config{Clients: 50, Ramp: time.Second, Seed: 3, Arrivals: kind}
+		a, err := arrivalOffsets(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := arrivalOffsets(cfg)
+		if len(a) != 50 {
+			t.Fatalf("%s: %d offsets for 50 clients", kind, len(a))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: schedule not deterministic per seed", kind)
+			}
+			if a[i] < 0 {
+				t.Errorf("%s: negative offset %v", kind, a[i])
+			}
+			if kind == "uniform" && a[i] > time.Second {
+				t.Errorf("uniform offset %v outside the ramp", a[i])
+			}
+			if i > 0 && a[i] < a[i-1] {
+				t.Errorf("%s: offsets not sorted", kind)
+			}
+		}
+	}
+	if _, err := arrivalOffsets(Config{Clients: 1, Ramp: time.Second, Arrivals: "bogus"}); err == nil {
+		t.Error("unknown arrival schedule not rejected")
+	}
+}

@@ -1,9 +1,11 @@
 package probe
 
 import (
+	"context"
 	"errors"
 	"log"
 	"net"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,15 +18,48 @@ import (
 type ServerConfig struct {
 	// Addr is the UDP listen address, e.g. ":4460".
 	Addr string
-	// MaxSessions caps concurrently tracked sessions (default 1024). A
-	// Hello beyond the cap is ignored — the client's handshake retry
-	// surfaces the rejection as an unresponsive server rather than a
-	// half-open measurement.
+	// MaxSessions caps concurrently tracked sessions (default 1024).
+	// A Hello beyond the cap gets a Busy reply when the client
+	// negotiated one (FlagBusyAware), silence otherwise.
 	MaxSessions int
 	// SessionTTL evicts sessions with no traffic for this long
 	// (default 2m). Clients that die without a Bye would otherwise
-	// leak map entries forever.
+	// leak table entries forever.
 	SessionTTL time.Duration
+	// Readers is the number of goroutines sharing the UDP socket —
+	// the Go netpoller multiplexes them, each with private read and
+	// reply buffers (default min(4, GOMAXPROCS)).
+	Readers int
+	// Shards is the session-table shard count, rounded up to a power
+	// of two (default 16). More shards, less admission-lock contention.
+	Shards int
+	// SnapshotInterval is the per-session throughput accounting cadence
+	// feeding the spool's mlab-schema trace (default 500ms).
+	SnapshotInterval time.Duration
+	// MaxSnapshots bounds per-session snapshot memory (default 720,
+	// i.e. 6 minutes at the default cadence).
+	MaxSnapshots int
+
+	// PerSourcePPS rate-limits packets per source IP ahead of session
+	// admission (token bucket, burst PerSourceBurst; 0 disables). A
+	// limited Hello gets a Busy|FlagRateLimited reply when negotiated.
+	PerSourcePPS   float64
+	PerSourceBurst float64
+	// GlobalPPS is the server-wide packets-per-second ceiling with
+	// prioritized shedding: new Hellos are charged against a reserve
+	// that Data packets of admitted sessions may drain to zero, so
+	// overload stops admission before it starves admitted sessions
+	// (0 disables).
+	GlobalPPS   float64
+	GlobalBurst float64
+	// BusyRetryHint is the retry-after delay advertised in Busy
+	// replies (default 500ms; capped at 65s by the wire field).
+	BusyRetryHint time.Duration
+
+	// Sink, when non-nil, receives a SessionRecord as each session
+	// ends (bye, eviction, drain, close) — wire a *spool.Writer here.
+	Sink RecordSink
+
 	// Logf, if non-nil, receives diagnostic lines.
 	Logf func(format string, args ...interface{})
 }
@@ -38,6 +73,24 @@ func (c ServerConfig) norm() ServerConfig {
 	}
 	if c.SessionTTL <= 0 {
 		c.SessionTTL = 2 * time.Minute
+	}
+	if c.Readers <= 0 {
+		c.Readers = 4
+		if n := runtime.GOMAXPROCS(0); n < c.Readers {
+			c.Readers = n
+		}
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = 500 * time.Millisecond
+	}
+	if c.MaxSnapshots <= 0 {
+		c.MaxSnapshots = 720
+	}
+	if c.BusyRetryHint <= 0 {
+		c.BusyRetryHint = 500 * time.Millisecond
 	}
 	return c
 }
@@ -53,30 +106,63 @@ type ServerStats struct {
 	// Hellos refused at the MaxSessions cap.
 	Evicted  atomic.Int64
 	Rejected atomic.Int64
+	// Oversize counts datagrams longer than MaxDatagram (also counted
+	// in BadPackets).
+	Oversize atomic.Int64
+	// RateLimited counts packets refused by the per-source limiter.
+	RateLimited atomic.Int64
+	// ShedHello/ShedData count packets dropped at the global ceiling.
+	ShedHello atomic.Int64
+	ShedData  atomic.Int64
+	// BusySent counts explicit Busy rejections sent.
+	BusySent atomic.Int64
+	// DrainRejected counts Hellos refused because the server is
+	// draining.
+	DrainRejected atomic.Int64
+	// Drained counts sessions force-finalized at shutdown.
+	Drained atomic.Int64
+	// SpoolErrors counts summaries the sink failed to accept.
+	SpoolErrors atomic.Int64
 }
 
 // Server acknowledges probe packets: for each data packet it returns
 // an ack echoing the sequence number and send timestamp, stamped with
 // the server's receive time — everything the client's estimator needs.
+// It is built to survive a fleet's worth of clients: N readers share
+// the socket, the session table is sharded, admission is rate-limited,
+// and overload sheds new work before admitted work.
 type Server struct {
-	cfg   ServerConfig
-	conn  *net.UDPConn
-	start time.Time
+	cfg       ServerConfig
+	conn      *net.UDPConn
+	start     time.Time
+	startWall time.Time
 
-	mu        sync.Mutex
-	sessions  map[uint64]time.Duration // id -> last activity (since start)
-	lastSweep time.Duration
+	shards    []sessionShard
+	shardMask uint64
+	active    atomic.Int64
+
+	global *globalLimiter
+	perSrc *sourceLimiter
+
+	// lastSweepNanos throttles on-demand full sweeps at the admission
+	// cap (the background sweeper runs regardless).
+	lastSweepNanos atomic.Int64
 
 	// Stats exposes lifetime counters.
 	Stats ServerStats
 
-	// obsEvicted/obsRejected mirror the eviction and rejection counters
-	// onto a metrics registry when RegisterMetrics has been called.
+	// obs mirrors onto a metrics registry when RegisterMetrics has
+	// been called.
 	obsEvicted  *obs.Counter
 	obsRejected *obs.Counter
+	obsShed     *obs.Counter
+	obsBusy     *obs.Counter
+	obsQDelay   *obs.Histogram
 
-	closed atomic.Bool
-	done   chan struct{}
+	served   atomic.Bool
+	draining atomic.Bool
+	closed   atomic.Bool
+	done     chan struct{}
 }
 
 // NewServer binds the listen socket. Call Serve to start processing.
@@ -90,13 +176,25 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
-		cfg:      cfg,
-		conn:     conn,
-		start:    time.Now(),
-		sessions: make(map[uint64]time.Duration),
-		done:     make(chan struct{}),
-	}, nil
+	nShards := 1
+	for nShards < cfg.Shards {
+		nShards <<= 1
+	}
+	s := &Server{
+		cfg:       cfg,
+		conn:      conn,
+		start:     time.Now(),
+		startWall: time.Now(),
+		shards:    make([]sessionShard, nShards),
+		shardMask: uint64(nShards - 1),
+		global:    newGlobalLimiter(cfg.GlobalPPS, cfg.GlobalBurst),
+		perSrc:    newSourceLimiter(cfg.PerSourcePPS, cfg.PerSourceBurst, nShards, cfg.SessionTTL),
+		done:      make(chan struct{}),
+	}
+	for i := range s.shards {
+		s.shards[i].m = make(map[uint64]*session)
+	}
+	return s, nil
 }
 
 // Addr returns the bound address (useful with ":0").
@@ -108,10 +206,49 @@ func (s *Server) logf(format string, args ...interface{}) {
 	}
 }
 
-// Serve processes packets until Close. It returns nil after a clean
-// shutdown.
+// Serve processes packets until Close, fanning the socket out across
+// the configured reader goroutines. It returns nil after a clean
+// shutdown and must be called at most once.
 func (s *Server) Serve() error {
+	s.served.Store(true)
 	defer close(s.done)
+
+	sweepQuit := make(chan struct{})
+	var sweepWG sync.WaitGroup
+	sweepWG.Add(1)
+	go func() {
+		defer sweepWG.Done()
+		s.sweeper(sweepQuit)
+	}()
+	defer func() {
+		close(sweepQuit)
+		sweepWG.Wait()
+	}()
+
+	errc := make(chan error, s.cfg.Readers)
+	var wg sync.WaitGroup
+	for i := 1; i < s.cfg.Readers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errc <- s.readLoop()
+		}()
+	}
+	errc <- s.readLoop()
+	wg.Wait()
+	var first error
+	for i := 0; i < s.cfg.Readers; i++ {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// readLoop is one reader goroutine: a private read buffer and a
+// private reply buffer, so concurrent readers never share packet
+// memory.
+func (s *Server) readLoop() error {
 	buf := make([]byte, 64*1024)
 	out := make([]byte, HeaderSize)
 	for {
@@ -126,123 +263,353 @@ func (s *Server) Serve() error {
 			}
 			return err
 		}
-		h, err := Decode(buf[:n])
-		if err != nil {
-			s.Stats.BadPackets.Add(1)
-			continue
-		}
-		now := time.Since(s.start)
-		switch h.Type {
-		case TypeHello:
-			if !s.trackSession(h.Session, now) {
-				continue // at capacity: no Hi, client retry will report it
-			}
-			reply := Header{Type: TypeHi, Session: h.Session, Seq: h.Seq, EchoNano: h.SendNano, RecvNano: now.Nanoseconds()}
-			s.reply(out, &reply, raddr)
-		case TypeData:
-			// Auto-register handshake-less (legacy) clients, still
-			// under the cap; refuse to ack rejected sessions so a
-			// flood cannot bypass the limit via data packets.
-			if !s.trackSession(h.Session, now) {
-				continue
-			}
-			s.Stats.DataPackets.Add(1)
-			s.Stats.DataBytes.Add(int64(n))
-			ack := Header{
-				Type:     TypeAck,
-				Session:  h.Session,
-				Seq:      h.Seq,
-				EchoNano: h.SendNano,
-				RecvNano: now.Nanoseconds(),
-				Size:     uint16(n),
-			}
-			s.reply(out, &ack, raddr)
-			s.Stats.Acks.Add(1)
-		case TypeBye:
-			s.mu.Lock()
-			delete(s.sessions, h.Session)
-			s.mu.Unlock()
-			s.logf("probe: session %d from %v done", h.Session, raddr)
-		default:
-			s.Stats.BadPackets.Add(1)
-		}
+		s.handleDatagram(buf[:n], raddr, out)
 	}
 }
 
-// trackSession refreshes (or registers) a session's activity time and
-// reports whether the session is accepted. New sessions beyond
-// MaxSessions are rejected after a TTL sweep fails to free a slot.
-func (s *Server) trackSession(id uint64, now time.Duration) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; ok {
-		s.sessions[id] = now
+// handleDatagram processes one packet. out is the caller's private
+// reply buffer.
+func (s *Server) handleDatagram(pkt []byte, raddr *net.UDPAddr, out []byte) {
+	if len(pkt) > MaxDatagram {
+		// A datagram the Size field cannot describe: reject rather
+		// than wrap uint16(n) to a lie.
+		s.Stats.Oversize.Add(1)
+		s.Stats.BadPackets.Add(1)
+		return
+	}
+	h, err := Decode(pkt)
+	if err != nil {
+		s.Stats.BadPackets.Add(1)
+		return
+	}
+	now := time.Since(s.start)
+	switch h.Type {
+	case TypeHello:
+		s.handleHello(&h, raddr, now, out)
+	case TypeData:
+		s.handleData(&h, raddr, now, len(pkt), out)
+	case TypeBye:
+		s.endSession(h.Session, now, EndBye)
+		s.logf("probe: session %d from %v done", h.Session, raddr)
+	default:
+		s.Stats.BadPackets.Add(1)
+	}
+}
+
+func (s *Server) handleHello(h *Header, raddr *net.UDPAddr, now time.Duration, out []byte) {
+	busyAware := h.Flags&FlagBusyAware != 0
+	if s.draining.Load() {
+		s.Stats.DrainRejected.Add(1)
+		if busyAware {
+			s.sendBusy(h, raddr, now, FlagDraining, 0, out)
+		}
+		return
+	}
+	if !s.perSrc.admit(now, raddr) {
+		s.Stats.RateLimited.Add(1)
+		if busyAware {
+			s.sendBusy(h, raddr, now, FlagRateLimited, 2*s.cfg.BusyRetryHint, out)
+		}
+		return
+	}
+	if !s.global.admit(now, true) {
+		s.Stats.ShedHello.Add(1)
+		if s.obsShed != nil {
+			s.obsShed.Inc()
+		}
+		if busyAware {
+			s.sendBusy(h, raddr, now, FlagAtCapacity, s.cfg.BusyRetryHint, out)
+		}
+		return
+	}
+	if !s.admitSession(h.Session, raddr, now) {
+		s.Stats.Rejected.Add(1)
+		if s.obsRejected != nil {
+			s.obsRejected.Inc()
+		}
+		s.logf("probe: rejecting session %d: %d sessions at cap", h.Session, s.active.Load())
+		if busyAware {
+			s.sendBusy(h, raddr, now, FlagAtCapacity, s.cfg.BusyRetryHint, out)
+		}
+		return
+	}
+	reply := Header{Type: TypeHi, Session: h.Session, Seq: h.Seq, EchoNano: h.SendNano, RecvNano: now.Nanoseconds()}
+	s.reply(out, &reply, raddr)
+}
+
+func (s *Server) handleData(h *Header, raddr *net.UDPAddr, now time.Duration, n int, out []byte) {
+	if !s.global.admit(now, false) {
+		s.Stats.ShedData.Add(1)
+		if s.obsShed != nil {
+			s.obsShed.Inc()
+		}
+		return
+	}
+	sh := s.shardFor(h.Session)
+	sh.mu.Lock()
+	se, ok := sh.m[h.Session]
+	var qdelay int64
+	if ok {
+		qdelay = se.noteData(now, n, h.SendNano, s.cfg.SnapshotInterval, s.cfg.MaxSnapshots)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		// Auto-register handshake-less (legacy) clients, still behind
+		// admission control: draining, per-source limiting, and the
+		// session cap all apply, so a flood cannot bypass the Hello
+		// path via data packets.
+		if s.draining.Load() || !s.perSrc.admit(now, raddr) || !s.admitSession(h.Session, raddr, now) {
+			return
+		}
+		sh.mu.Lock()
+		if se = sh.m[h.Session]; se != nil {
+			qdelay = se.noteData(now, n, h.SendNano, s.cfg.SnapshotInterval, s.cfg.MaxSnapshots)
+		}
+		sh.mu.Unlock()
+		if se == nil {
+			return
+		}
+	}
+	if qdelay >= 0 && s.obsQDelay != nil {
+		s.obsQDelay.Observe(float64(qdelay) / 1e6)
+	}
+	s.Stats.DataPackets.Add(1)
+	s.Stats.DataBytes.Add(int64(n))
+	ack := Header{
+		Type:     TypeAck,
+		Session:  h.Session,
+		Seq:      h.Seq,
+		EchoNano: h.SendNano,
+		RecvNano: now.Nanoseconds(),
+		Size:     uint16(n),
+	}
+	s.reply(out, &ack, raddr)
+	s.Stats.Acks.Add(1)
+}
+
+// admitSession registers a new session (or refreshes an existing one),
+// enforcing MaxSessions exactly across shards: a slot is reserved on
+// the global count with a CAS loop before the shard insert, so
+// concurrent admissions over-admit never.
+func (s *Server) admitSession(id uint64, raddr *net.UDPAddr, now time.Duration) bool {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	if se, ok := sh.m[id]; ok {
+		se.last = now
+		sh.mu.Unlock()
 		return true
 	}
-	if len(s.sessions) >= s.cfg.MaxSessions {
-		s.sweepLocked(now)
-		if len(s.sessions) >= s.cfg.MaxSessions {
-			s.Stats.Rejected.Add(1)
-			if s.obsRejected != nil {
-				s.obsRejected.Inc()
+	sh.mu.Unlock()
+
+	max := int64(s.cfg.MaxSessions)
+	for {
+		cur := s.active.Load()
+		if cur >= max {
+			s.sweepAtCap(now)
+			if s.active.Load() >= max {
+				return false
 			}
-			s.logf("probe: rejecting session %d: %d sessions at cap", id, len(s.sessions))
-			return false
+			continue
 		}
-	} else if now-s.lastSweep >= s.cfg.SessionTTL {
-		s.sweepLocked(now)
+		if s.active.CompareAndSwap(cur, cur+1) {
+			break
+		}
 	}
-	s.sessions[id] = now
+	sh.mu.Lock()
+	if se, ok := sh.m[id]; ok {
+		// Lost a race with another reader admitting the same id:
+		// release the reserved slot.
+		se.last = now
+		sh.mu.Unlock()
+		s.active.Add(-1)
+		return true
+	}
+	sh.m[id] = &session{
+		id:     id,
+		addr:   addrString(raddr),
+		start:  now,
+		last:   now,
+		snapAt: now,
+	}
+	sh.mu.Unlock()
 	s.Stats.Sessions.Add(1)
 	s.logf("probe: new session %d", id)
 	return true
 }
 
-// sweepLocked evicts sessions idle past the TTL. Caller holds mu.
-func (s *Server) sweepLocked(now time.Duration) {
-	s.lastSweep = now
-	for id, seen := range s.sessions {
-		if now-seen > s.cfg.SessionTTL {
-			delete(s.sessions, id)
-			s.Stats.Evicted.Add(1)
-			if s.obsEvicted != nil {
-				s.obsEvicted.Inc()
-			}
-			s.logf("probe: evicted stale session %d (idle %v)", id, now-seen)
+// endSession removes a session and spools its summary.
+func (s *Server) endSession(id uint64, now time.Duration, cause string) {
+	sh := s.shardFor(id)
+	sh.mu.Lock()
+	se, ok := sh.m[id]
+	if ok {
+		delete(sh.m, id)
+	}
+	sh.mu.Unlock()
+	if !ok {
+		return // retransmitted Bye, or already evicted
+	}
+	s.active.Add(-1)
+	s.spoolSession(se, now, cause)
+}
+
+func (s *Server) spoolSession(se *session, now time.Duration, cause string) {
+	if s.cfg.Sink == nil {
+		return
+	}
+	if err := s.cfg.Sink.Append(se.record(now, s.startWall, cause)); err != nil {
+		s.Stats.SpoolErrors.Add(1)
+		s.logf("probe: spooling session %d: %v", se.id, err)
+	}
+}
+
+// sweeper is the background TTL sweep, ticking well inside the TTL so
+// stale sessions free their slots promptly even when no admission
+// pressure forces a sweep.
+func (s *Server) sweeper(quit chan struct{}) {
+	tick := s.cfg.SessionTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > time.Second {
+		tick = time.Second
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-quit:
+			return
+		case <-t.C:
+			now := time.Since(s.start)
+			s.sweepNow(now)
+			s.perSrc.sweep(now)
 		}
 	}
 }
 
-// ActiveSessions returns the number of currently tracked sessions.
-func (s *Server) ActiveSessions() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.sessions)
+// sweepAtCap runs an on-demand sweep when admission hits the cap, at
+// most once per sweep tick so a Hello flood at capacity cannot turn
+// every rejection into an O(sessions) scan.
+func (s *Server) sweepAtCap(now time.Duration) {
+	tick := s.cfg.SessionTTL / 4
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	last := s.lastSweepNanos.Load()
+	if now.Nanoseconds()-last < tick.Nanoseconds() {
+		return
+	}
+	if !s.lastSweepNanos.CompareAndSwap(last, now.Nanoseconds()) {
+		return
+	}
+	s.sweepNow(now)
 }
+
+// sweepNow evicts sessions idle past the TTL across all shards,
+// spooling summaries outside the shard locks.
+func (s *Server) sweepNow(now time.Duration) {
+	s.lastSweepNanos.Store(now.Nanoseconds())
+	var victims []*session
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, se := range sh.m {
+			if now-se.last > s.cfg.SessionTTL {
+				delete(sh.m, id)
+				victims = append(victims, se)
+			}
+		}
+		sh.mu.Unlock()
+	}
+	for _, se := range victims {
+		s.active.Add(-1)
+		s.Stats.Evicted.Add(1)
+		if s.obsEvicted != nil {
+			s.obsEvicted.Inc()
+		}
+		s.logf("probe: evicted stale session %d (idle %v)", se.id, now-se.last)
+		s.spoolSession(se, now, EndEvicted)
+	}
+}
+
+// ActiveSessions returns the number of currently tracked sessions.
+func (s *Server) ActiveSessions() int { return int(s.active.Load()) }
 
 // SessionInfo is one tracked session as seen by the admin endpoint.
 type SessionInfo struct {
 	ID          uint64  `json:"id"`
 	IdleSeconds float64 `json:"idle_s"`
+	Packets     int64   `json:"packets"`
+	Bytes       int64   `json:"bytes"`
 }
 
-// Sessions returns a snapshot of the tracked sessions sorted by id, for
-// the live /sessions introspection view.
+// Sessions returns a snapshot of the tracked sessions sorted by id,
+// for the live /sessions introspection view.
 func (s *Server) Sessions() []SessionInfo {
 	now := time.Since(s.start)
-	s.mu.Lock()
-	out := make([]SessionInfo, 0, len(s.sessions))
-	for id, seen := range s.sessions {
-		out = append(out, SessionInfo{ID: id, IdleSeconds: (now - seen).Seconds()})
+	out := make([]SessionInfo, 0, s.active.Load())
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		for id, se := range sh.m {
+			out = append(out, SessionInfo{
+				ID:          id,
+				IdleSeconds: (now - se.last).Seconds(),
+				Packets:     se.packets,
+				Bytes:       se.bytes,
+			})
+		}
+		sh.mu.Unlock()
 	}
-	s.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
+// Health is the fleet-node health/readiness view.
+type Health struct {
+	// Ready means the node is serving and accepting new sessions.
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+
+	ActiveSessions int64 `json:"active_sessions"`
+	MaxSessions    int   `json:"max_sessions"`
+	TrackedSources int   `json:"tracked_sources"`
+
+	UptimeSeconds float64 `json:"uptime_s"`
+
+	SessionsTotal int64 `json:"sessions_total"`
+	Rejected      int64 `json:"rejected"`
+	RateLimited   int64 `json:"rate_limited"`
+	ShedHello     int64 `json:"shed_hello"`
+	ShedData      int64 `json:"shed_data"`
+	Evicted       int64 `json:"evicted"`
+	SpoolErrors   int64 `json:"spool_errors"`
+}
+
+// Health snapshots the node's readiness and load counters.
+func (s *Server) Health() Health {
+	return Health{
+		Ready:          !s.draining.Load() && !s.closed.Load(),
+		Draining:       s.draining.Load(),
+		ActiveSessions: s.active.Load(),
+		MaxSessions:    s.cfg.MaxSessions,
+		TrackedSources: s.perSrc.size(),
+		UptimeSeconds:  time.Since(s.start).Seconds(),
+		SessionsTotal:  s.Stats.Sessions.Load(),
+		Rejected:       s.Stats.Rejected.Load(),
+		RateLimited:    s.Stats.RateLimited.Load(),
+		ShedHello:      s.Stats.ShedHello.Load(),
+		ShedData:       s.Stats.ShedData.Load(),
+		Evicted:        s.Stats.Evicted.Load(),
+		SpoolErrors:    s.Stats.SpoolErrors.Load(),
+	}
+}
+
 // RegisterMetrics exposes the server's counters on the registry:
-// lifetime packet/session counters as live gauges, plus eviction and
-// rejection counters that increment as they happen.
+// lifetime packet/session counters as live gauges, eviction/rejection/
+// shed counters that increment as they happen, and a queueing-delay
+// histogram fed from the data path.
 func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	if reg == nil {
 		return
@@ -253,8 +620,16 @@ func (s *Server) RegisterMetrics(reg *obs.Registry) {
 	reg.RegisterFunc("probe.server.sessions_total", "", func() float64 { return float64(s.Stats.Sessions.Load()) })
 	reg.RegisterFunc("probe.server.bad_packets", "", func() float64 { return float64(s.Stats.BadPackets.Load()) })
 	reg.RegisterFunc("probe.server.sessions_active", "", func() float64 { return float64(s.ActiveSessions()) })
+	reg.RegisterFunc("probe.server.rate_limited", "", func() float64 { return float64(s.Stats.RateLimited.Load()) })
+	reg.RegisterFunc("probe.server.shed_hello", "", func() float64 { return float64(s.Stats.ShedHello.Load()) })
+	reg.RegisterFunc("probe.server.shed_data", "", func() float64 { return float64(s.Stats.ShedData.Load()) })
+	reg.RegisterFunc("probe.server.drained", "", func() float64 { return float64(s.Stats.Drained.Load()) })
+	reg.RegisterFunc("probe.server.spool_errors", "", func() float64 { return float64(s.Stats.SpoolErrors.Load()) })
 	s.obsEvicted = reg.Counter("probe.server.evicted")
 	s.obsRejected = reg.Counter("probe.server.rejected")
+	s.obsShed = reg.Counter("probe.server.shed")
+	s.obsBusy = reg.Counter("probe.server.busy_sent")
+	s.obsQDelay = reg.Histogram("probe.server.qdelay_ms", "", obs.ExpBuckets(0.1, 2, 16))
 }
 
 func (s *Server) reply(out []byte, h *Header, raddr *net.UDPAddr) {
@@ -268,12 +643,96 @@ func (s *Server) reply(out []byte, h *Header, raddr *net.UDPAddr) {
 	}
 }
 
-// Close shuts the server down and waits for Serve to return.
+// sendBusy sends the explicit rejection (see TypeBusy in wire.go):
+// cause flags plus a retry-after hint in milliseconds.
+func (s *Server) sendBusy(h *Header, raddr *net.UDPAddr, now time.Duration, cause uint8, retryAfter time.Duration, out []byte) {
+	ms := retryAfter.Milliseconds()
+	if ms > 65535 {
+		ms = 65535
+	}
+	reply := Header{
+		Type:     TypeBusy,
+		Flags:    cause,
+		Session:  h.Session,
+		Seq:      h.Seq,
+		EchoNano: h.SendNano,
+		RecvNano: now.Nanoseconds(),
+		Size:     uint16(ms),
+	}
+	s.reply(out, &reply, raddr)
+	s.Stats.BusySent.Add(1)
+	if s.obsBusy != nil {
+		s.obsBusy.Inc()
+	}
+}
+
+// BeginDrain stops admitting new sessions: Hellos (and auto-registered
+// data) get Busy|FlagDraining, admitted sessions keep being served.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether a drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain gracefully shuts the node down: stop admitting, serve admitted
+// sessions until they Bye out, hit the TTL, or ctx expires; then close
+// the socket and finalize whatever remains into the spool as drained.
+// It returns the number of sessions force-finalized at the deadline
+// (0 is a fully clean drain).
+func (s *Server) Drain(ctx context.Context) int {
+	s.BeginDrain()
+	t := time.NewTicker(20 * time.Millisecond)
+	defer t.Stop()
+	for s.active.Load() > 0 {
+		select {
+		case <-ctx.Done():
+			forced := int(s.active.Load())
+			s.Close()
+			return forced
+		case <-t.C:
+		}
+	}
+	s.Close()
+	return 0
+}
+
+// Close shuts the server down, waits for the readers to return, and
+// finalizes any remaining sessions into the spool (cause drained when
+// a drain had begun, closed otherwise).
 func (s *Server) Close() error {
 	if s.closed.Swap(true) {
 		return nil
 	}
 	err := s.conn.Close()
-	<-s.done
+	if s.served.Load() {
+		<-s.done
+	}
+	s.finalizeAll()
 	return err
+}
+
+// finalizeAll spools every remaining session. Runs after the readers
+// have exited, so the table is quiescent.
+func (s *Server) finalizeAll() {
+	now := time.Since(s.start)
+	cause := EndClosed
+	if s.draining.Load() {
+		cause = EndDrained
+	}
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		victims := make([]*session, 0, len(sh.m))
+		for id, se := range sh.m {
+			delete(sh.m, id)
+			victims = append(victims, se)
+		}
+		sh.mu.Unlock()
+		for _, se := range victims {
+			s.active.Add(-1)
+			if cause == EndDrained {
+				s.Stats.Drained.Add(1)
+			}
+			s.spoolSession(se, now, cause)
+		}
+	}
 }

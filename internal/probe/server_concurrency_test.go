@@ -1,0 +1,524 @@
+package probe
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// dialHello dials the server and performs a busy-aware handshake,
+// returning the conn and the reply header (zero Header on silence).
+func dialHello(t *testing.T, addr string, session uint64) (*net.UDPConn, Header, bool) {
+	t.Helper()
+	raddr, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialUDP("udp", nil, raddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := Header{Type: TypeHello, Flags: FlagBusyAware, Session: session, SendNano: 1}
+	buf := make([]byte, HeaderSize)
+	h.Encode(buf)
+	conn.Write(buf)
+	conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	resp := make([]byte, 2048)
+	n, err := conn.Read(resp)
+	if err != nil {
+		return conn, Header{}, false
+	}
+	reply, err := Decode(resp[:n])
+	if err != nil {
+		t.Fatalf("undecodable handshake reply: %v", err)
+	}
+	return conn, reply, true
+}
+
+// TestConcurrentAdmissionExactCap: many goroutines racing admitSession
+// over overlapping ids must never over-admit past MaxSessions — the
+// CAS-reserved slot plus the double-checked shard insert make the cap
+// exact, not approximate.
+func TestConcurrentAdmissionExactCap(t *testing.T) {
+	const capN = 64
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0", MaxSessions: capN, SessionTTL: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999}
+	var wg sync.WaitGroup
+	var admitted atomic.Int64
+	// 8 goroutines all racing over the same 512 ids: duplicate
+	// admissions (the release-slot path) and cap rejections both get
+	// exercised.
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			now := time.Millisecond
+			for id := uint64(1); id <= 512; id++ {
+				if srv.admitSession(id, addr, now) {
+					admitted.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := srv.ActiveSessions(); got != capN {
+		t.Errorf("active sessions = %d, want exactly %d", got, capN)
+	}
+	if got := srv.Stats.Sessions.Load(); got != capN {
+		t.Errorf("sessions created = %d, want exactly %d", got, capN)
+	}
+	if got := len(srv.Sessions()); got != capN {
+		t.Errorf("session table holds %d entries, want %d", got, capN)
+	}
+	// Re-admitting an existing id succeeds (refresh), so the admitted
+	// count is at least one per goroutine per live id — but the table
+	// itself never grew past the cap, which is what matters.
+	if admitted.Load() < capN {
+		t.Errorf("admitted %d < cap %d", admitted.Load(), capN)
+	}
+}
+
+// TestConcurrentReadersServeManyClients: a multi-reader server hammered
+// by parallel clients on separate sockets. Under -race this is the
+// regression test for the shared-reply-buffer hazard: every reader must
+// use private read and reply memory.
+func TestConcurrentReadersServeManyClients(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 256, SessionTTL: time.Hour, Readers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	const clients = 24
+	const packets = 40
+	var wg sync.WaitGroup
+	var acked atomic.Int64
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			conn, reply, ok := dialHello(t, srv.Addr().String(), id)
+			defer conn.Close()
+			if !ok || reply.Type != TypeHi {
+				errs <- &net.AddrError{Err: "handshake failed", Addr: srv.Addr().String()}
+				return
+			}
+			out := make([]byte, 128)
+			in := make([]byte, 2048)
+			for seq := uint64(0); seq < packets; seq++ {
+				h := Header{Type: TypeData, Session: id, Seq: seq, SendNano: int64(seq + 1)}
+				h.Encode(out)
+				conn.Write(out)
+				conn.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+				n, err := conn.Read(in)
+				if err != nil {
+					continue // loopback loss: tolerated, counted below
+				}
+				ack, err := Decode(in[:n])
+				if err != nil {
+					errs <- err
+					return
+				}
+				// The ack must echo THIS session's fields — a reader
+				// writing into a shared buffer would interleave sessions.
+				if ack.Type != TypeAck || ack.Session != id || ack.EchoNano != int64(seq+1) {
+					errs <- &net.AddrError{Err: "cross-session ack corruption", Addr: srv.Addr().String()}
+					return
+				}
+				acked.Add(1)
+			}
+		}(uint64(1000 + i))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if acked.Load() < clients*packets/2 {
+		t.Errorf("only %d/%d acks on loopback", acked.Load(), clients*packets)
+	}
+	if got := srv.ActiveSessions(); got != clients {
+		t.Errorf("active sessions = %d, want %d", got, clients)
+	}
+}
+
+// TestOversizeDatagramRejected: a datagram longer than the Size field
+// can describe is rejected and counted, never wrapped mod 2^16. (Real
+// IPv4 UDP caps payloads below 65536, so this guards the direct path.)
+func TestOversizeDatagramRejected(t *testing.T) {
+	srv, err := NewServer(ServerConfig{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999}
+	out := make([]byte, HeaderSize)
+
+	pkt := make([]byte, MaxDatagram+1)
+	h := Header{Type: TypeData, Session: 7, SendNano: 1}
+	h.Encode(pkt)
+	srv.handleDatagram(pkt, addr, out)
+	if got := srv.Stats.Oversize.Load(); got != 1 {
+		t.Errorf("Oversize = %d, want 1", got)
+	}
+	if got := srv.Stats.BadPackets.Load(); got != 1 {
+		t.Errorf("BadPackets = %d, want 1", got)
+	}
+	if got := srv.ActiveSessions(); got != 0 {
+		t.Errorf("oversize datagram registered a session")
+	}
+
+	// Exactly MaxDatagram is describable and must be processed.
+	ok := Header{Type: TypeData, Session: 7, SendNano: 1}
+	ok.Encode(pkt)
+	srv.handleDatagram(pkt[:MaxDatagram], addr, out)
+	if got := srv.Stats.DataPackets.Load(); got != 1 {
+		t.Errorf("boundary-size datagram not served (DataPackets = %d)", got)
+	}
+	if got := srv.Stats.Oversize.Load(); got != 1 {
+		t.Errorf("boundary-size datagram miscounted as oversize")
+	}
+}
+
+// TestTTLSweepUnderChurn: with a tiny TTL and a tiny cap, a stream of
+// fresh sessions keeps being admitted as stale ones are swept — the
+// table neither leaks nor wedges at the cap.
+func TestTTLSweepUnderChurn(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 4, SessionTTL: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	conn, err := net.Dial("udp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	buf := make([]byte, HeaderSize)
+	resp := make([]byte, 2048)
+	admitted := 0
+	for id := uint64(1); id <= 40; id++ {
+		h := Header{Type: TypeHello, Flags: FlagBusyAware, Session: id, SendNano: 1}
+		h.Encode(buf)
+		conn.Write(buf)
+		conn.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+		if n, err := conn.Read(resp); err == nil {
+			if reply, err := Decode(resp[:n]); err == nil && reply.Type == TypeHi {
+				admitted++
+			}
+		}
+		if got := srv.ActiveSessions(); got > 4 {
+			t.Fatalf("active sessions = %d above cap 4 mid-churn", got)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if srv.Stats.Evicted.Load() == 0 {
+		t.Error("no evictions despite 40 sessions churning through a cap of 4")
+	}
+	// With TTL 30ms and 10ms spacing the sweep keeps freeing slots, so
+	// the large majority of hellos find room.
+	if admitted < 20 {
+		t.Errorf("only %d/40 hellos admitted under churn", admitted)
+	}
+}
+
+// TestBusySignalingAtCapacity: at the session cap, a busy-aware Hello
+// gets an explicit Busy reply carrying the cause bit and a retry hint,
+// while a legacy Hello still gets silence.
+func TestBusySignalingAtCapacity(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 1, SessionTTL: time.Hour,
+		BusyRetryHint: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	c1, reply, ok := dialHello(t, srv.Addr().String(), 1)
+	defer c1.Close()
+	if !ok || reply.Type != TypeHi {
+		t.Fatal("first session refused under the cap")
+	}
+
+	c2, reply, ok := dialHello(t, srv.Addr().String(), 2)
+	defer c2.Close()
+	if !ok {
+		t.Fatal("busy-aware hello at capacity got silence, want Busy")
+	}
+	if reply.Type != TypeBusy {
+		t.Fatalf("reply type = %d, want TypeBusy", reply.Type)
+	}
+	if reply.Flags&FlagAtCapacity == 0 {
+		t.Errorf("Busy flags = %#x, missing FlagAtCapacity", reply.Flags)
+	}
+	if reply.Session != 2 {
+		t.Errorf("Busy echoes session %d, want 2", reply.Session)
+	}
+	if reply.Size != 100 {
+		t.Errorf("Busy retry hint = %dms, want 100", reply.Size)
+	}
+
+	// Legacy client: no FlagBusyAware, so no Busy on the wire.
+	raddr, _ := net.ResolveUDPAddr("udp", srv.Addr().String())
+	c3, _ := net.DialUDP("udp", nil, raddr)
+	defer c3.Close()
+	h := Header{Type: TypeHello, Session: 3, SendNano: 1}
+	buf := make([]byte, HeaderSize)
+	h.Encode(buf)
+	c3.Write(buf)
+	c3.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+	if n, err := c3.Read(make([]byte, 2048)); err == nil {
+		t.Fatalf("legacy hello at capacity got a %d-byte reply, want silence", n)
+	}
+
+	if srv.Stats.BusySent.Load() == 0 {
+		t.Error("BusySent not counted")
+	}
+	if srv.Stats.Rejected.Load() < 2 {
+		t.Errorf("Rejected = %d, want >= 2", srv.Stats.Rejected.Load())
+	}
+}
+
+// TestPerSourceRateLimitSignalsBusy: a source blowing through its
+// per-IP budget gets Busy|FlagRateLimited on the excess Hello.
+func TestPerSourceRateLimitSignalsBusy(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 100, SessionTTL: time.Hour,
+		PerSourcePPS: 1, PerSourceBurst: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+	defer srv.Close()
+
+	for id := uint64(1); id <= 2; id++ {
+		conn, reply, ok := dialHello(t, srv.Addr().String(), id)
+		conn.Close()
+		if !ok || reply.Type != TypeHi {
+			t.Fatalf("hello %d refused within the burst", id)
+		}
+	}
+	conn, reply, ok := dialHello(t, srv.Addr().String(), 3)
+	conn.Close()
+	if !ok {
+		t.Fatal("rate-limited hello got silence, want Busy")
+	}
+	if reply.Type != TypeBusy || reply.Flags&FlagRateLimited == 0 {
+		t.Fatalf("reply type %d flags %#x, want Busy|FlagRateLimited", reply.Type, reply.Flags)
+	}
+	if srv.Stats.RateLimited.Load() == 0 {
+		t.Error("RateLimited not counted")
+	}
+	if got := srv.ActiveSessions(); got != 2 {
+		t.Errorf("active sessions = %d, want the 2 under the burst", got)
+	}
+}
+
+// TestGlobalCeilingShedsHellosBeforeData: once the global bucket drains
+// to its reserve, new Hellos are shed while Data of admitted sessions
+// keeps flowing — overload protects existing work first. Driven through
+// handleDatagram directly so the token arithmetic is deterministic.
+func TestGlobalCeilingShedsHellosBeforeData(t *testing.T) {
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 100, SessionTTL: time.Hour,
+		GlobalPPS: 10, GlobalBurst: 8, // floor = 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	addr := &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1), Port: 9999}
+	now := time.Millisecond
+	out := make([]byte, HeaderSize)
+
+	// 6 Hellos drain the bucket to the reserve; the 7th is shed.
+	for id := uint64(1); id <= 6; id++ {
+		h := Header{Type: TypeHello, Session: id, SendNano: 1}
+		srv.handleHello(&h, addr, now, out)
+	}
+	if got := srv.ActiveSessions(); got != 6 {
+		t.Fatalf("admitted %d sessions above the reserve, want 6", got)
+	}
+	h7 := Header{Type: TypeHello, Session: 7, SendNano: 1}
+	srv.handleHello(&h7, addr, now, out)
+	if got := srv.Stats.ShedHello.Load(); got != 1 {
+		t.Errorf("ShedHello = %d, want 1", got)
+	}
+	if got := srv.ActiveSessions(); got != 6 {
+		t.Errorf("hello admitted from the reserve (active = %d)", got)
+	}
+
+	// The reserve still serves 2 Data packets of an admitted session,
+	// then sheds.
+	for seq := uint64(0); seq < 3; seq++ {
+		d := Header{Type: TypeData, Session: 1, Seq: seq, SendNano: 1}
+		srv.handleData(&d, addr, now, 100, out)
+	}
+	if got := srv.Stats.DataPackets.Load(); got != 2 {
+		t.Errorf("DataPackets = %d, want the 2 reserve tokens", got)
+	}
+	if got := srv.Stats.ShedData.Load(); got != 1 {
+		t.Errorf("ShedData = %d, want 1", got)
+	}
+}
+
+// memSink collects spooled records in memory.
+type memSink struct {
+	mu   sync.Mutex
+	recs []SessionRecord
+}
+
+func (m *memSink) Append(v any) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recs = append(m.recs, v.(SessionRecord))
+	return nil
+}
+
+func (m *memSink) causes() map[string]int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := map[string]int{}
+	for _, r := range m.recs {
+		out[r.Probe.EndCause]++
+	}
+	return out
+}
+
+// TestDrainServesAdmittedRejectsNew: during a drain, admitted sessions
+// keep getting acks, new Hellos get Busy|FlagDraining, and Drain
+// finalizes every remaining session into the sink with no summary lost.
+func TestDrainServesAdmittedRejectsNew(t *testing.T) {
+	sink := &memSink{}
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 8, SessionTTL: time.Hour, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	// Three sessions; one says Bye before the drain.
+	conns := make([]*net.UDPConn, 3)
+	for i := range conns {
+		conn, reply, ok := dialHello(t, srv.Addr().String(), uint64(i+1))
+		if !ok || reply.Type != TypeHi {
+			t.Fatal("admission failed before drain")
+		}
+		conns[i] = conn
+		defer conn.Close()
+	}
+	buf := make([]byte, HeaderSize)
+	bye := Header{Type: TypeBye, Session: 1}
+	bye.Encode(buf)
+	conns[0].Write(buf)
+	deadline := time.Now().Add(time.Second)
+	for srv.ActiveSessions() != 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	srv.BeginDrain()
+
+	// An admitted session is still served mid-drain.
+	data := Header{Type: TypeData, Session: 2, Seq: 1, SendNano: 1}
+	data.Encode(buf)
+	conns[1].Write(buf)
+	conns[1].SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+	resp := make([]byte, 2048)
+	n, err := conns[1].Read(resp)
+	if err != nil {
+		t.Fatal("admitted session not served during drain:", err)
+	}
+	if ack, err := Decode(resp[:n]); err != nil || ack.Type != TypeAck {
+		t.Fatalf("mid-drain reply type %d, want TypeAck", ack.Type)
+	}
+
+	// A new Hello is turned away with the draining cause.
+	conn, reply, ok := dialHello(t, srv.Addr().String(), 99)
+	conn.Close()
+	if !ok || reply.Type != TypeBusy || reply.Flags&FlagDraining == 0 {
+		t.Fatalf("hello during drain: ok=%v type=%d flags=%#x, want Busy|FlagDraining", ok, reply.Type, reply.Flags)
+	}
+	if reply.Size != 0 {
+		t.Errorf("draining Busy advertises retry-after %dms, want 0 (do not retry)", reply.Size)
+	}
+	if srv.Stats.DrainRejected.Load() == 0 {
+		t.Error("DrainRejected not counted")
+	}
+
+	// The two live sessions never Bye: Drain hits the deadline and
+	// force-finalizes them as drained.
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	forced := srv.Drain(ctx)
+	cancel()
+	if forced != 2 {
+		t.Errorf("Drain forced %d sessions, want 2", forced)
+	}
+	causes := sink.causes()
+	if causes[EndBye] != 1 || causes[EndDrained] != 2 {
+		t.Errorf("spooled causes = %v, want 1 bye + 2 drained", causes)
+	}
+	if got := srv.Stats.Drained.Load(); got != 2 {
+		t.Errorf("Drained = %d, want 2", got)
+	}
+	if len(sink.recs) != 3 {
+		t.Errorf("%d summaries spooled for 3 sessions", len(sink.recs))
+	}
+}
+
+// TestCleanDrainReturnsZero: when every session says Bye, Drain
+// completes before its deadline and forces nothing.
+func TestCleanDrainReturnsZero(t *testing.T) {
+	sink := &memSink{}
+	srv, err := NewServer(ServerConfig{
+		Addr: "127.0.0.1:0", MaxSessions: 8, SessionTTL: time.Hour, Sink: sink,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve()
+
+	conn, reply, ok := dialHello(t, srv.Addr().String(), 1)
+	defer conn.Close()
+	if !ok || reply.Type != TypeHi {
+		t.Fatal("admission failed")
+	}
+	srv.BeginDrain()
+	buf := make([]byte, HeaderSize)
+	bye := Header{Type: TypeBye, Session: 1}
+	bye.Encode(buf)
+	conn.Write(buf)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	forced := srv.Drain(ctx)
+	cancel()
+	if forced != 0 {
+		t.Errorf("clean drain forced %d sessions, want 0", forced)
+	}
+	if causes := sink.causes(); causes[EndBye] != 1 {
+		t.Errorf("spooled causes = %v, want 1 bye", causes)
+	}
+}

@@ -1,0 +1,182 @@
+package probe
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/mlab"
+	"repro/internal/tcpinfo"
+)
+
+// RecordSink receives finalized per-session summaries. *spool.Writer
+// satisfies it; tests substitute an in-memory sink.
+type RecordSink interface {
+	Append(v any) error
+}
+
+// Session end causes recorded in the spool.
+const (
+	EndBye     = "bye"     // client said goodbye
+	EndEvicted = "evicted" // TTL sweep reclaimed an idle session
+	EndDrained = "drained" // server drained for shutdown mid-session
+	EndClosed  = "closed"  // server closed without a drain
+)
+
+// SessionRecord is one spool line: a valid internal/mlab NDT record
+// (mlabanalyze consumes spool files directly; the extra "probe" object
+// is ignored by the mlab decoder) carrying the probe-side summary.
+type SessionRecord struct {
+	mlab.Record
+	Probe SessionSummary `json:"probe"`
+}
+
+// SessionSummary is the probe-specific side of a spool record.
+type SessionSummary struct {
+	// Session is the wire session id in hex (a string so 64-bit ids
+	// survive float-parsing JSON consumers).
+	Session string `json:"session"`
+	// Addr is the client's address as first seen.
+	Addr string `json:"addr"`
+	// Packets and Bytes count data packets served.
+	Packets int64 `json:"packets"`
+	Bytes   int64 `json:"bytes"`
+	// EndCause is why the session ended: bye, evicted, drained, closed.
+	EndCause string `json:"end_cause"`
+	// DelayMeanMs/DelayMaxMs summarize the server-side one-way
+	// queueing-delay proxy (receive time minus client send timestamp,
+	// baselined at the session minimum — clock offset cancels).
+	DelayMeanMs float64 `json:"delay_mean_ms"`
+	DelayMaxMs  float64 `json:"delay_max_ms"`
+}
+
+// session is one tracked client, guarded by its shard's mutex.
+type session struct {
+	id    uint64
+	addr  string
+	start time.Duration // server-monotonic admission time
+	last  time.Duration
+
+	packets int64
+	bytes   int64
+
+	// One-way delay proxy: recv(server mono) - send(client mono) has an
+	// unknown constant offset; tracking the minimum and the deviation
+	// above it yields queueing delay without synchronized clocks.
+	owdMin     int64 // nanos; valid once packets > 0
+	qdelayEWMA float64
+	qdelayMax  float64
+
+	// Throughput snapshots at the configured cadence, in the mlab
+	// schema so the spool record carries a change-point-analyzable
+	// trace.
+	snaps     []tcpinfo.Snapshot
+	snapAt    time.Duration
+	snapBytes int64
+}
+
+// noteData folds one data packet into the session. Caller holds the
+// shard lock. Returns the instantaneous queueing-delay proxy in
+// nanoseconds (-1 when unknown).
+func (se *session) noteData(now time.Duration, n int, sendNano int64, interval time.Duration, maxSnaps int) int64 {
+	se.last = now
+	se.packets++
+	se.bytes += int64(n)
+	owd := now.Nanoseconds() - sendNano
+	qdelay := int64(-1)
+	if se.packets == 1 || owd < se.owdMin {
+		se.owdMin = owd
+	}
+	if owd >= se.owdMin {
+		qdelay = owd - se.owdMin
+		q := float64(qdelay)
+		if se.qdelayEWMA == 0 {
+			se.qdelayEWMA = q
+		} else {
+			se.qdelayEWMA += (q - se.qdelayEWMA) / 8
+		}
+		if q > se.qdelayMax {
+			se.qdelayMax = q
+		}
+	}
+	if now-se.snapAt >= interval && len(se.snaps) < maxSnaps {
+		se.appendSnapshot(now)
+	}
+	return qdelay
+}
+
+// appendSnapshot closes the current accounting interval. Caller holds
+// the shard lock.
+func (se *session) appendSnapshot(now time.Duration) {
+	dt := (now - se.snapAt).Seconds()
+	if dt <= 0 {
+		return
+	}
+	at := now - se.start
+	se.snaps = append(se.snaps, tcpinfo.Snapshot{
+		At:            at,
+		BytesSent:     se.bytes,
+		BytesAcked:    se.bytes,
+		ThroughputBps: float64(se.bytes-se.snapBytes) * 8 / dt,
+		SRTT:          time.Duration(se.qdelayEWMA),
+		// The probe stream is backlogged by construction: it is never
+		// application- or receiver-limited, so the analysis pipeline's
+		// filters pass it through to change-point detection.
+		BusyTime: at,
+	})
+	se.snapAt = now
+	se.snapBytes = se.bytes
+}
+
+// record finalizes the session into a spool line.
+func (se *session) record(now time.Duration, wallBase time.Time, cause string) SessionRecord {
+	if se.bytes > se.snapBytes || len(se.snaps) == 0 {
+		se.appendSnapshot(now)
+	}
+	dur := now - se.start
+	var mean float64
+	if d := dur.Seconds(); d > 0 {
+		mean = float64(se.bytes) * 8 / d
+	}
+	return SessionRecord{
+		Record: mlab.Record{
+			ID:                fmt.Sprintf("probe-%016x", se.id),
+			Start:             wallBase.Add(se.start),
+			Duration:          dur,
+			Access:            mlab.AccessEthernet,
+			Snapshots:         se.snaps,
+			MeanThroughputBps: mean,
+		},
+		Probe: SessionSummary{
+			Session:     fmt.Sprintf("%016x", se.id),
+			Addr:        se.addr,
+			Packets:     se.packets,
+			Bytes:       se.bytes,
+			EndCause:    cause,
+			DelayMeanMs: se.qdelayEWMA / 1e6,
+			DelayMaxMs:  se.qdelayMax / 1e6,
+		},
+	}
+}
+
+// sessionShard is one lock's worth of the sharded session table.
+type sessionShard struct {
+	mu sync.Mutex
+	m  map[uint64]*session
+}
+
+// shardFor hashes a session id onto its shard. Session ids are
+// client-chosen random 64-bit values; a multiplicative mix keeps
+// adversarially sequential ids from piling onto one shard.
+func (s *Server) shardFor(id uint64) *sessionShard {
+	h := id * 0x9e3779b97f4a7c15
+	return &s.shards[(h>>32)&s.shardMask]
+}
+
+func addrString(a *net.UDPAddr) string {
+	if a == nil {
+		return ""
+	}
+	return a.String()
+}

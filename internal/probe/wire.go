@@ -25,6 +25,12 @@ const Version uint8 = 1
 // HeaderSize is the fixed header length in bytes.
 const HeaderSize = 52
 
+// MaxDatagram is the largest datagram the protocol can describe: the
+// Size field is a uint16, so anything longer cannot be acknowledged
+// without truncating the length. Servers reject longer reads as bad
+// packets instead of wrapping the counter.
+const MaxDatagram = 65535
+
 // Packet types.
 const (
 	TypeData  uint8 = 1
@@ -32,6 +38,39 @@ const (
 	TypeHello uint8 = 3
 	TypeHi    uint8 = 4 // hello response
 	TypeBye   uint8 = 5
+	// TypeBusy is an explicit admission rejection: the server is at
+	// capacity, rate-limiting the source, or draining for shutdown.
+	// It lets a client distinguish "back off with jitter and retry
+	// later" from packet loss, instead of burning its full
+	// handshake-retry budget against a server that answered instantly.
+	//
+	// Negotiation: Busy is only ever sent in response to a Hello whose
+	// Flags carry FlagBusyAware — a legacy (pre-Busy) client never sets
+	// the flag and keeps the historical behavior (silence at capacity,
+	// surfaced by its retry loop), so the wire Version stays 1.
+	//
+	// Field reuse in a Busy reply: Session/Seq echo the Hello,
+	// EchoNano echoes the Hello's SendNano, RecvNano is the server's
+	// receive timestamp, and Size carries the server's suggested
+	// retry-after delay in milliseconds (0 = do not retry: the server
+	// is draining). Flags carry the rejection cause bits below.
+	TypeBusy uint8 = 6
+)
+
+// Header flag bits.
+const (
+	// FlagBusyAware on a Hello advertises that the client understands
+	// TypeBusy replies (see TypeBusy for the negotiation contract).
+	FlagBusyAware uint8 = 1 << 0
+	// FlagDraining on a Busy reply means the server is shutting down:
+	// retrying this server is pointless, pick another node.
+	FlagDraining uint8 = 1 << 1
+	// FlagRateLimited on a Busy reply means the per-source-IP rate
+	// limiter refused the packet: the client should back off harder
+	// than for a capacity rejection.
+	FlagRateLimited uint8 = 1 << 2
+	// FlagAtCapacity on a Busy reply means the session table is full.
+	FlagAtCapacity uint8 = 1 << 3
 )
 
 // Header is the probe packet header.
