@@ -11,7 +11,9 @@
 //	         [-faults wifi-bursty] [-fault-seed N] [-trials N] [-flows N]
 //	         [-users N] [-pulse HZ] [-phase 45s] [-json]
 //	         [-trace run.jsonl] [-trace-sample N] [-metrics-out metrics.csv]
-//	ccac sweep [-workers N | -seq] [-cache DIR] [-out results.json] <grid.json|->
+//	ccac sweep [-workers N | -seq] [-cache DIR] [-out results.json]
+//	           [-progress] [-progress-jsonl events.jsonl] [-flight DIR]
+//	           [-admin ADDR] <grid.json|->
 //
 // `run` executes one experiment from its registered defaults plus any
 // explicitly set flags and prints its table (or, with -json, the
@@ -20,6 +22,17 @@
 // per-run observability scopes and an optional content-addressed
 // result cache; its output is a canonical JSON array, byte-identical
 // between sequential and parallel execution of the same grid.
+//
+// Long sweeps are observable while they run: -progress renders a live
+// one-line status on stderr, -progress-jsonl streams one
+// run_start/run_finish event pair per run plus periodic aggregates
+// and a closing sweep_summary, -admin serves /metrics (OpenMetrics),
+// /timeseries (recent history rings), /healthz, expvar, and pprof for
+// the duration of the sweep, and -flight attaches a bounded flight
+// recorder to every run, dumping the last trace events of any failed
+// or panicking run (or, on SIGQUIT, of every in-flight run) as a
+// replayable JSONL post-mortem under the given directory. A sweep
+// with failed runs exits 1 and reports the failure count.
 package main
 
 import (
@@ -27,14 +40,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/faults"
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/scenario"
 )
 
@@ -254,6 +270,13 @@ func cmdSweep(args []string) {
 	cacheDir := fs.String("cache", "", "content-addressed result cache directory (reused across sweeps)")
 	out := fs.String("out", "", "write the canonical JSON result array here (default stdout)")
 	withObs := fs.Bool("obs", false, "give every run a private metrics registry (for debugging; off for speed)")
+	progress := fs.Bool("progress", false, "render a live one-line sweep status to stderr")
+	progressJSONL := fs.String("progress-jsonl", "",
+		"stream sweep progress events (run_start/run_finish/progress/sweep_summary) as JSONL to this file")
+	flightDir := fs.String("flight", "",
+		"attach a flight recorder to every run; dump failed/panicked runs' last trace events to this directory")
+	adminAddr := fs.String("admin", "",
+		"serve /metrics, /timeseries, /healthz, expvar, and pprof on this address for the duration of the sweep")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: ccac sweep [flags] <grid.json|->")
 		fs.PrintDefaults()
@@ -277,7 +300,7 @@ func cmdSweep(args []string) {
 	specs, err := grid.Expand()
 	fail(err)
 
-	runner := &scenario.Runner{Workers: *workers}
+	runner := &scenario.Runner{Workers: *workers, FlightDir: *flightDir}
 	if *seq {
 		runner.Workers = 1
 	}
@@ -289,29 +312,94 @@ func cmdSweep(args []string) {
 		runner.NewScope = func(scenario.Spec) *obs.Scope { return obs.NewScope() }
 	}
 
+	// Telemetry sinks: the reporter is active when any of the
+	// progress/admin surfaces asked for it; the plain sweep path stays
+	// hook-free.
+	rep := &scenario.SweepReporter{AggregateEvery: time.Second}
+	useReporter := false
+	if *progress {
+		rep.TTY = os.Stderr
+		useReporter = true
+	}
+	var progressF *os.File
+	if *progressJSONL != "" {
+		progressF, err = os.Create(*progressJSONL)
+		fail(err)
+		rep.JSONL = progressF
+		useReporter = true
+	}
+	if *adminAddr != "" {
+		reg := obs.NewRegistry()
+		rep.Reg = reg
+		useReporter = true
+		rec := timeseries.New(timeseries.Config{Registry: reg, Runtime: true})
+		recCtx, recStop := context.WithCancel(context.Background())
+		defer recStop()
+		go rec.Run(recCtx)
+		adm, err := obs.ServeAdmin(*adminAddr, obs.AdminMux(map[string]http.Handler{
+			"/metrics":    obs.MetricsHandler(reg),
+			"/timeseries": rec.Handler(),
+		}))
+		fail(err)
+		defer adm.Close()
+		fmt.Fprintf(os.Stderr, "ccac: sweep admin on http://%v\n", adm.Addr())
+	}
+	if useReporter {
+		runner.ProgressFunc = rep.Func()
+	}
+	if *flightDir != "" {
+		// SIGQUIT dumps every in-flight run's flight recorder — the
+		// "what is this stalled sweep doing" lever — and keeps going.
+		quit := make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+		defer signal.Stop(quit)
+		go func() {
+			for range quit {
+				for _, p := range runner.DumpActiveFlights() {
+					fmt.Fprintf(os.Stderr, "ccac: flight dump %s\n", p)
+				}
+			}
+		}()
+	}
+
 	start := time.Now()
-	results, err := runner.Sweep(signalContext(), specs)
-	sweepErr := err
+	results, sweepErr := runner.Sweep(signalContext(), specs)
 	elapsed := time.Since(start)
 
 	b, err := scenario.CanonicalJSON(results)
 	fail(err)
 	b = append(b, '\n')
+	summaryW := os.Stderr
 	if *out != "" {
 		fail(os.WriteFile(*out, b, 0o644))
-		writeSweepSummary(os.Stdout, specs, results, elapsed)
+		summaryW = os.Stdout
 	} else {
 		os.Stdout.Write(b)
-		writeSweepSummary(os.Stderr, specs, results, elapsed)
+	}
+	if useReporter {
+		if err := rep.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ccac: progress stream:", err)
+		}
+		if progressF != nil {
+			fail(progressF.Close())
+		}
+		rep.Summarize(summaryW)
+	} else {
+		writeSweepSummary(summaryW, specs, results, elapsed)
 	}
 	if sweepErr != nil {
 		fmt.Fprintln(os.Stderr, "ccac: sweep:", sweepErr)
 		os.Exit(1)
 	}
+	failed := 0
 	for _, r := range results {
 		if r.Err != "" {
-			os.Exit(1)
+			failed++
 		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "ccac: sweep: %d of %d runs failed\n", failed, len(results))
+		os.Exit(1)
 	}
 }
 

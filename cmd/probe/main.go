@@ -39,12 +39,12 @@ func main() {
 	flag.Parse()
 
 	if *admin != "" {
-		ln, err := obs.ServeAdmin(*admin, obs.AdminMux(nil))
+		adm, err := obs.ServeAdmin(*admin, obs.AdminMux(nil))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "probe: admin:", err)
 			os.Exit(1)
 		}
-		defer ln.Close()
+		defer adm.Close()
 	}
 
 	c := probe.NewClient(probe.ClientConfig{

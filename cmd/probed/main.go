@@ -21,8 +21,14 @@
 //	cat spool/*.jsonl | mlabanalyze
 //
 // The admin endpoint adds /healthz (full health JSON, always 200 while
-// the process is up) and /readyz (200 while accepting sessions, 503
-// once draining — wire this one into load-balancer checks).
+// the process is up), /readyz (200 while accepting sessions, 503 once
+// draining — wire this one into load-balancer checks), /metrics (the
+// whole registry in the Prometheus/OpenMetrics text format, for any
+// standard collector), and /timeseries (recent history rings — every
+// registry metric plus Go runtime series sampled at -record-every,
+// queryable by name and dumpable as JSONL with ?format=jsonl). The
+// admin server is closed gracefully after the drain completes, so a
+// scrape racing shutdown still gets its reply.
 package main
 
 import (
@@ -37,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/timeseries"
 	"repro/internal/probe"
 	"repro/internal/probe/spool"
 )
@@ -69,7 +76,11 @@ func run() error {
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second,
 		"wait this long for sessions to finish after SIGTERM before force-finalizing")
 	admin := flag.String("admin", "",
-		"serve an HTTP admin endpoint (expvar, pprof, /sessions, /healthz, /readyz) on this address")
+		"serve an HTTP admin endpoint (expvar, pprof, /sessions, /healthz, /readyz, /metrics, /timeseries) on this address")
+	recordEvery := flag.Duration("record-every", time.Second,
+		"timeseries recorder sampling cadence (with -admin)")
+	recordSamples := flag.Int("record-samples", 600,
+		"timeseries recorder retention, in samples per series (with -admin)")
 	flag.Parse()
 
 	cfg := probe.ServerConfig{
@@ -110,17 +121,32 @@ func run() error {
 		reg := obs.NewRegistry()
 		srv.RegisterMetrics(reg)
 		reg.PublishExpvar("probed")
-		mux := obs.AdminMux(map[string]http.Handler{
-			"/sessions": obs.JSONHandler(func() interface{} { return srv.Sessions() }),
-			"/healthz":  obs.JSONHandler(func() interface{} { return srv.Health() }),
-			"/readyz":   readyHandler(srv),
+		rec := timeseries.New(timeseries.Config{
+			Registry: reg,
+			Interval: *recordEvery,
+			Samples:  *recordSamples,
+			Runtime:  true,
 		})
-		ln, err := obs.ServeAdmin(*admin, mux)
+		recCtx, recStop := context.WithCancel(context.Background())
+		defer recStop()
+		go rec.Run(recCtx)
+		mux := obs.AdminMux(map[string]http.Handler{
+			"/sessions":   obs.JSONHandler(func() interface{} { return srv.Sessions() }),
+			"/healthz":    obs.JSONHandler(func() interface{} { return srv.Health() }),
+			"/readyz":     readyHandler(srv),
+			"/metrics":    obs.MetricsHandler(reg),
+			"/timeseries": rec.Handler(),
+		})
+		adm, err := obs.ServeAdmin(*admin, mux)
 		if err != nil {
 			return fmt.Errorf("admin: %w", err)
 		}
-		defer ln.Close()
-		log.Printf("probed: admin endpoint on http://%v", ln.Addr())
+		// Deferred graceful close: the admin surface stays up through
+		// the drain (so /readyz keeps steering traffic away and a last
+		// /metrics or /timeseries scrape can capture the drain), then
+		// shuts down draining its own in-flight requests.
+		defer adm.Close()
+		log.Printf("probed: admin endpoint on http://%v", adm.Addr())
 	}
 
 	// First SIGTERM/SIGINT begins the drain; a second one cancels the

@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"os"
+	"sync/atomic"
+)
+
+// FlightRecorder is a bounded, always-on trace sink: a power-of-two
+// ring of Events that retains the last N emitted, at constant cost
+// even when full, so the events leading up to a failure, a panic, or
+// a SIGQUIT survive for a post-mortem dump without paying for full
+// tracing. Emit is lock-free — one atomic add plus a slot store — and
+// never allocates.
+//
+// Concurrency: any number of goroutines may Emit. Reads (Events,
+// WriteJSONL, DumpRunLog) are meant for after the instrumented code
+// has stopped — the failure/panic/shutdown paths — where they see a
+// consistent ring. A dump taken while writers are still live (the
+// SIGQUIT path) is best-effort: it may contain a small number of torn
+// events, which is the accepted trade for a zero-overhead hot path.
+type FlightRecorder struct {
+	buf  []Event
+	mask uint64
+	next atomic.Uint64
+}
+
+// DefaultFlightEvents is the retention used when NewFlightRecorder is
+// given a non-positive capacity: enough tail to reconstruct the last
+// few RTTs of a run at packet granularity, small enough (~300 KiB) to
+// attach to every run of a large sweep.
+const DefaultFlightEvents = 4096
+
+// NewFlightRecorder returns a recorder retaining the last capacity
+// events (rounded up to a power of two; <=0 means
+// DefaultFlightEvents).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = DefaultFlightEvents
+	}
+	n := 1
+	for n < capacity {
+		n <<= 1
+	}
+	return &FlightRecorder{buf: make([]Event, n), mask: uint64(n - 1)}
+}
+
+// Emit implements Tracer. It never blocks and never allocates: the
+// event lands in a pre-allocated slot, overwriting the oldest once the
+// ring is full.
+func (f *FlightRecorder) Emit(ev Event) {
+	i := f.next.Add(1) - 1
+	f.buf[i&f.mask] = ev
+}
+
+// Total returns how many events have been emitted over the recorder's
+// lifetime (retained or overwritten).
+func (f *FlightRecorder) Total() uint64 { return f.next.Load() }
+
+// Len returns how many events are currently retained.
+func (f *FlightRecorder) Len() int {
+	n := f.next.Load()
+	if n > uint64(len(f.buf)) {
+		return len(f.buf)
+	}
+	return int(n)
+}
+
+// Events returns the retained events oldest-first.
+func (f *FlightRecorder) Events() []Event {
+	n := f.next.Load()
+	out := make([]Event, 0, f.Len())
+	start := uint64(0)
+	if n > uint64(len(f.buf)) {
+		start = n - uint64(len(f.buf))
+	}
+	for i := start; i < n; i++ {
+		out = append(out, f.buf[i&f.mask])
+	}
+	return out
+}
+
+// Reset discards all retained events.
+func (f *FlightRecorder) Reset() {
+	f.next.Store(0)
+	for i := range f.buf {
+		f.buf[i] = Event{}
+	}
+}
+
+// WriteJSONL writes the retained events oldest-first, one run-log
+// event line each.
+func (f *FlightRecorder) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<15)
+	n := f.next.Load()
+	start := uint64(0)
+	if n > uint64(len(f.buf)) {
+		start = n - uint64(len(f.buf))
+	}
+	for i := start; i < n; i++ {
+		ev := f.buf[i&f.mask]
+		if err := writeEventJSON(bw, &ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// DumpRunLog writes a complete, ReadRunLog-compatible post-mortem
+// artifact: a manifest line, the retained tail of the event stream,
+// and a summary line carrying errMsg plus the recorder's accounting
+// (per-type counts of the retained events, and events_total /
+// events_retained metrics so a reader can tell how much history was
+// lost to the ring bound).
+func (f *FlightRecorder) DumpRunLog(w io.Writer, m Manifest, errMsg string) error {
+	bw := bufio.NewWriterSize(w, 1<<15)
+	manifestLine := struct {
+		Type string `json:"type"`
+		Manifest
+	}{Type: "manifest", Manifest: m}
+	b, err := json.Marshal(manifestLine)
+	if err != nil {
+		return err
+	}
+	bw.Write(b)
+	bw.WriteByte('\n')
+
+	counts := make(map[string]int64)
+	n := f.next.Load()
+	start := uint64(0)
+	if n > uint64(len(f.buf)) {
+		start = n - uint64(len(f.buf))
+	}
+	for i := start; i < n; i++ {
+		ev := f.buf[i&f.mask]
+		counts[ev.Type.String()]++
+		if err := writeEventJSON(bw, &ev); err != nil {
+			return err
+		}
+	}
+
+	summaryLine := struct {
+		Type string `json:"type"`
+		Summary
+	}{Type: "summary", Summary: Summary{
+		Error:       errMsg,
+		EventCounts: counts,
+		Metrics: map[string]float64{
+			"events_total":    float64(n),
+			"events_retained": float64(n - start),
+		},
+	}}
+	b, err = json.Marshal(summaryLine)
+	if err != nil {
+		return err
+	}
+	bw.Write(b)
+	bw.WriteByte('\n')
+	return bw.Flush()
+}
+
+// DumpFile writes DumpRunLog to path, creating it (0644).
+func (f *FlightRecorder) DumpFile(path string, m Manifest, errMsg string) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = f.DumpRunLog(file, m, errMsg)
+	if cerr := file.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

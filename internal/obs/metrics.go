@@ -405,6 +405,34 @@ func (r *Registry) WriteSnapshotFile(path string) error {
 	return err
 }
 
+// Visit calls fn for every metric scalar without allocating: counters,
+// gauges, and pull funcs once each (field ""), histograms twice
+// (field "count" and field "sum"). It is the sampling backend of the
+// timeseries recorder, which runs at a fixed cadence — Snapshot's
+// sorted []Point allocation would defeat its zero-allocs-per-sample
+// guarantee. fn runs under the registry lock, in no particular order,
+// and must not call back into the registry; registered pull funcs are
+// also evaluated under the lock, which is safe for the funcs this
+// repo registers (they read atomics or take unrelated fine-grained
+// locks) but means fn should stay brief.
+func (r *Registry) Visit(fn func(name, label, field string, v float64)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for k, c := range r.counters {
+		fn(k.name, k.label, "", float64(c.Value()))
+	}
+	for k, g := range r.gauges {
+		fn(k.name, k.label, "", g.Value())
+	}
+	for k, h := range r.hists {
+		fn(k.name, k.label, "count", float64(h.Count()))
+		fn(k.name, k.label, "sum", h.Sum())
+	}
+	for k, f := range r.funcs {
+		fn(k.name, k.label, "", f())
+	}
+}
+
 // PublishExpvar exposes the registry under the given expvar name
 // (e.g. on /debug/vars). Publishing the same name twice is a no-op:
 // expvar panics on duplicates, and admin endpoints may be constructed

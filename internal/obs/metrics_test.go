@@ -2,10 +2,14 @@ package obs
 
 import (
 	"bytes"
+	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"math"
 	"os"
 	"path/filepath"
+	"reflect"
+	"strconv"
 	"sync"
 	"testing"
 )
@@ -169,4 +173,192 @@ func TestPublishExpvarIdempotent(t *testing.T) {
 	r := fixedRegistry()
 	r.PublishExpvar("obs_test_metrics")
 	r.PublishExpvar("obs_test_metrics") // must not panic
+}
+
+func TestHistogramNaNDoesNotPoisonSum(t *testing.T) {
+	// Regression: a NaN observation must be dropped entirely — if it
+	// reached sum.Add, every later Sum() (and the _sum exposition
+	// sample) would be NaN forever.
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(1.5)
+	h.Observe(math.NaN())
+	h.Observe(0.5)
+	if got := h.Sum(); math.IsNaN(got) || got != 2 {
+		t.Errorf("sum after NaN observation = %v, want 2", got)
+	}
+	if got := h.Count(); got != 2 {
+		t.Errorf("count after NaN observation = %d, want 2", got)
+	}
+}
+
+func TestWriteJSONLRoundTrip(t *testing.T) {
+	pts := fixedRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	dec := json.NewDecoder(&buf)
+	var got []Point
+	for dec.More() {
+		var p Point
+		if err := dec.Decode(&p); err != nil {
+			t.Fatalf("decoding line %d: %v", len(got)+1, err)
+		}
+		got = append(got, p)
+	}
+	if len(got) != len(pts) {
+		t.Fatalf("round-trip %d points, wrote %d", len(got), len(pts))
+	}
+	for i, p := range got {
+		w := pts[i]
+		if p.Name != w.Name || p.Label != w.Label || p.Kind != w.Kind || p.Value != w.Value {
+			t.Errorf("point %d: got %+v want %+v", i, p, w)
+		}
+		if (p.Hist == nil) != (w.Hist == nil) {
+			t.Errorf("point %d: hist presence mismatch", i)
+			continue
+		}
+		if p.Hist != nil {
+			if !reflect.DeepEqual(p.Hist.Bounds, w.Hist.Bounds) ||
+				!reflect.DeepEqual(p.Hist.Counts, w.Hist.Counts) ||
+				p.Hist.Count != w.Hist.Count || p.Hist.Sum != w.Hist.Sum {
+				t.Errorf("point %d hist: got %+v want %+v", i, p.Hist, w.Hist)
+			}
+		}
+	}
+}
+
+func TestWriteCSVRoundTrip(t *testing.T) {
+	pts := fixedRegistry().Snapshot()
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("output is not parseable CSV: %v", err)
+	}
+	if want := []string{"name", "label", "kind", "value"}; !reflect.DeepEqual(rows[0], want) {
+		t.Fatalf("header %v, want %v", rows[0], want)
+	}
+	// Every scalar point appears verbatim; histograms contribute one
+	// bucket row per bucket plus a .sum row.
+	wantRows := 1
+	byName := map[string]string{}
+	for _, p := range pts {
+		if p.Hist != nil {
+			wantRows += len(p.Hist.Counts) + 1
+			continue
+		}
+		wantRows++
+		byName[p.Name+"|"+p.Label] = strconv.FormatFloat(p.Value, 'g', -1, 64)
+	}
+	if len(rows) != wantRows {
+		t.Errorf("%d CSV rows, want %d", len(rows), wantRows)
+	}
+	seen := map[string]string{}
+	for _, row := range rows[1:] {
+		if len(row) != 4 {
+			t.Fatalf("row has %d fields: %v", len(row), row)
+		}
+		seen[row[0]+"|"+row[1]] = row[3]
+	}
+	for key, want := range byName {
+		if seen[key] != want {
+			t.Errorf("scalar %s: csv has %q, want %q", key, seen[key], want)
+		}
+	}
+	// Histogram bucket rows reconstruct the snapshot counts.
+	h := pts[findPoint(t, pts, "flow.rtt_ms")].Hist
+	var cum int64
+	for i, c := range h.Counts {
+		edge := "inf"
+		if i < len(h.Bounds) {
+			edge = strconv.FormatFloat(h.Bounds[i], 'g', -1, 64)
+		}
+		v, err := strconv.ParseInt(seen["flow.rtt_ms.le_"+edge+"|flow=1"], 10, 64)
+		if err != nil {
+			t.Fatalf("bucket row le_%s: %v", edge, err)
+		}
+		if v != c {
+			t.Errorf("bucket le_%s: csv %d, snapshot %d", edge, v, c)
+		}
+		cum += c
+	}
+	if cum != h.Count {
+		t.Errorf("bucket rows sum to %d, histogram count %d", cum, h.Count)
+	}
+}
+
+func findPoint(t *testing.T, pts []Point, name string) int {
+	t.Helper()
+	for i, p := range pts {
+		if p.Name == name {
+			return i
+		}
+	}
+	t.Fatalf("no point named %s", name)
+	return -1
+}
+
+func TestExportersEmptyRegistry(t *testing.T) {
+	pts := NewRegistry().Snapshot()
+	var jbuf, cbuf bytes.Buffer
+	if err := WriteJSONL(&jbuf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if jbuf.Len() != 0 {
+		t.Errorf("empty registry JSONL: %q", jbuf.String())
+	}
+	if err := WriteCSV(&cbuf, pts); err != nil {
+		t.Fatal(err)
+	}
+	if got := cbuf.String(); got != "name,label,kind,value\n" {
+		t.Errorf("empty registry CSV: %q (want header only)", got)
+	}
+}
+
+func TestWriteSnapshotFileFormats(t *testing.T) {
+	dir := t.TempDir()
+	r := fixedRegistry()
+	csvPath := filepath.Join(dir, "m.csv")
+	jsonlPath := filepath.Join(dir, "m.jsonl")
+	if err := r.WriteSnapshotFile(csvPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteSnapshotFile(jsonlPath); err != nil {
+		t.Fatal(err)
+	}
+	cb, _ := os.ReadFile(csvPath)
+	if !bytes.HasPrefix(cb, []byte("name,label,kind,value\n")) {
+		t.Errorf("csv file lacks header: %q", cb[:min(len(cb), 40)])
+	}
+	jb, _ := os.ReadFile(jsonlPath)
+	if !bytes.HasPrefix(jb, []byte("{")) {
+		t.Errorf("jsonl file lacks JSON lines: %q", jb[:min(len(jb), 40)])
+	}
+}
+
+func TestVisitMatchesSnapshot(t *testing.T) {
+	r := fixedRegistry()
+	type key struct{ name, label, field string }
+	visited := map[key]float64{}
+	r.Visit(func(name, label, field string, v float64) {
+		visited[key{name, label, field}] = v
+	})
+	for _, p := range r.Snapshot() {
+		switch p.Kind {
+		case "histogram":
+			if visited[key{p.Name, p.Label, "count"}] != float64(p.Hist.Count) {
+				t.Errorf("%s count: visit %v snapshot %d", p.Name, visited[key{p.Name, p.Label, "count"}], p.Hist.Count)
+			}
+			if visited[key{p.Name, p.Label, "sum"}] != p.Hist.Sum {
+				t.Errorf("%s sum: visit %v snapshot %v", p.Name, visited[key{p.Name, p.Label, "sum"}], p.Hist.Sum)
+			}
+		default:
+			if visited[key{p.Name, p.Label, ""}] != p.Value {
+				t.Errorf("%s{%s}: visit %v snapshot %v", p.Name, p.Label, visited[key{p.Name, p.Label, ""}], p.Value)
+			}
+		}
+	}
 }

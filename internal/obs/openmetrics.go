@@ -1,0 +1,292 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file renders a Registry in the Prometheus/OpenMetrics text
+// exposition format so probed and long-running sweeps are scrapeable
+// by any standard collector. The output follows the text format
+// version 0.0.4 rules promtool validates: sanitized metric and label
+// names, escaped label values, one `# TYPE` line per family, counters
+// suffixed `_total`, and histograms rendered as cumulative `_bucket`
+// series plus `_sum` and `_count`.
+
+// sanitizeMetricName maps a registry name ("sim.link.sent_bytes",
+// "flow.rtt_ms") to a valid exposition metric name matching
+// [a-zA-Z_:][a-zA-Z0-9_:]*. Dots (the registry's namespace separator)
+// become underscores, as does every other invalid rune; a leading
+// digit gains an underscore prefix. Sanitization is stable: equal
+// inputs always produce equal outputs.
+func sanitizeMetricName(s string) string {
+	if s == "" {
+		return "_"
+	}
+	valid := true
+	for i, c := range s {
+		if !metricNameRune(c, i == 0) {
+			valid = false
+			break
+		}
+	}
+	if valid {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, c := range s {
+		if metricNameRune(c, i == 0) {
+			b.WriteRune(c)
+		} else if i == 0 && c >= '0' && c <= '9' {
+			b.WriteByte('_')
+			b.WriteRune(c)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func metricNameRune(c rune, first bool) bool {
+	if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || c == ':' {
+		return true
+	}
+	return !first && c >= '0' && c <= '9'
+}
+
+// sanitizeLabelName is sanitizeMetricName without the colon (label
+// names match [a-zA-Z_][a-zA-Z0-9_]*). Reserved "__"-prefixed names
+// gain a leading underscore strip.
+func sanitizeLabelName(s string) string {
+	if s == "" {
+		return "label"
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 1)
+	for i, c := range s {
+		ok := c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' || (i > 0 && c >= '0' && c <= '9')
+		switch {
+		case ok:
+			b.WriteRune(c)
+		case i == 0 && c >= '0' && c <= '9':
+			b.WriteByte('_')
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	out := b.String()
+	for strings.HasPrefix(out, "__") {
+		out = out[1:]
+	}
+	return out
+}
+
+// writeEscapedLabelValue writes v with the text-format escapes:
+// backslash, double quote, and newline.
+func writeEscapedLabelValue(w *bufio.Writer, v string) {
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			w.WriteString(`\\`)
+		case '"':
+			w.WriteString(`\"`)
+		case '\n':
+			w.WriteString(`\n`)
+		default:
+			w.WriteByte(v[i])
+		}
+	}
+}
+
+// labelPairs parses a rendered registry label ("qdisc=codel" or
+// "flow=1,side=probe") into sanitized name/value pairs. A segment with
+// no '=' keeps its text as the value of a generic "label" key.
+func labelPairs(label string) [][2]string {
+	if label == "" {
+		return nil
+	}
+	segs := strings.Split(label, ",")
+	out := make([][2]string, 0, len(segs))
+	for _, seg := range segs {
+		if seg == "" {
+			continue
+		}
+		k, v, found := strings.Cut(seg, "=")
+		if !found {
+			out = append(out, [2]string{"label", seg})
+			continue
+		}
+		out = append(out, [2]string{sanitizeLabelName(k), v})
+	}
+	return out
+}
+
+// writeLabels renders {k="v",...} including an optional trailing
+// le pair for histogram buckets. With no pairs and no le it writes
+// nothing.
+func writeLabels(w *bufio.Writer, pairs [][2]string, le string) {
+	if len(pairs) == 0 && le == "" {
+		return
+	}
+	w.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(p[0])
+		w.WriteString(`="`)
+		writeEscapedLabelValue(w, p[1])
+		w.WriteByte('"')
+	}
+	if le != "" {
+		if len(pairs) > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(`le="`)
+		w.WriteString(le)
+		w.WriteByte('"')
+	}
+	w.WriteByte('}')
+}
+
+// formatSampleValue renders a float in the exposition grammar
+// ("+Inf"/"-Inf"/"NaN" for the specials).
+func formatSampleValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// expoFamily is one exposition family: every point sharing a
+// sanitized name and a kind.
+type expoFamily struct {
+	name string // sanitized family name (counters already _total)
+	kind string // "counter" | "gauge" | "histogram"
+	pts  []Point
+}
+
+// WriteOpenMetrics renders the registry's current state in the
+// Prometheus text exposition format. Families appear in sorted name
+// order; points within a family keep the snapshot's sorted label
+// order, so the output is diffable across scrapes modulo values.
+// Counters gain the conventional `_total` suffix, pull-style funcs
+// render as gauges, and histograms emit monotone cumulative buckets
+// with a final `le="+Inf"` bucket equal to `_count`. If two registry
+// names sanitize to the same family with conflicting kinds, the first
+// kind wins and conflicting points are dropped (registry names are
+// internal, so this indicates a naming bug, not data loss).
+func (r *Registry) WriteOpenMetrics(w io.Writer) error {
+	pts := r.Snapshot()
+	byName := make(map[string]*expoFamily, len(pts))
+	var order []string
+	for _, p := range pts {
+		name := sanitizeMetricName(p.Name)
+		kind := p.Kind
+		switch kind {
+		case "counter":
+			if !strings.HasSuffix(name, "_total") {
+				name += "_total"
+			}
+		case "func":
+			kind = "gauge"
+		}
+		f, ok := byName[name]
+		if !ok {
+			f = &expoFamily{name: name, kind: kind}
+			byName[name] = f
+			order = append(order, name)
+		}
+		if f.kind != kind {
+			continue
+		}
+		f.pts = append(f.pts, p)
+	}
+	// Snapshot is sorted by raw name, which sorted-by-sanitized-name
+	// may disagree with ('.' < '_'); order is re-sorted for stability.
+	sort.Strings(order)
+
+	bw := bufio.NewWriterSize(w, 1<<15)
+	for _, name := range order {
+		f := byName[name]
+		if len(f.pts) == 0 {
+			continue
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind)
+		bw.WriteByte('\n')
+		for _, p := range f.pts {
+			pairs := labelPairs(p.Label)
+			if p.Hist != nil {
+				writeHistogramPoint(bw, f.name, pairs, p.Hist)
+				continue
+			}
+			bw.WriteString(f.name)
+			writeLabels(bw, pairs, "")
+			bw.WriteByte(' ')
+			bw.WriteString(formatSampleValue(p.Value))
+			bw.WriteByte('\n')
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogramPoint(bw *bufio.Writer, name string, pairs [][2]string, h *HistogramSnapshot) {
+	cum := int64(0)
+	for i, c := range h.Counts {
+		cum += c
+		le := "+Inf"
+		if i < len(h.Bounds) {
+			le = formatSampleValue(h.Bounds[i])
+		}
+		bw.WriteString(name)
+		bw.WriteString("_bucket")
+		writeLabels(bw, pairs, le)
+		bw.WriteByte(' ')
+		bw.WriteString(strconv.FormatInt(cum, 10))
+		bw.WriteByte('\n')
+	}
+	bw.WriteString(name)
+	bw.WriteString("_sum")
+	writeLabels(bw, pairs, "")
+	bw.WriteByte(' ')
+	bw.WriteString(formatSampleValue(h.Sum))
+	bw.WriteByte('\n')
+	bw.WriteString(name)
+	bw.WriteString("_count")
+	writeLabels(bw, pairs, "")
+	bw.WriteByte(' ')
+	bw.WriteString(strconv.FormatInt(h.Count, 10))
+	bw.WriteByte('\n')
+}
+
+// MetricsHandler serves the registry as a Prometheus/OpenMetrics
+// scrape endpoint — mount it as "/metrics" on an AdminMux. The reply
+// is rendered into memory first so a slow scraper never holds the
+// registry's lock.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var buf bytes.Buffer
+		if err := r.WriteOpenMetrics(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+}

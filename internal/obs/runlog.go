@@ -43,6 +43,9 @@ type Summary struct {
 	EventCounts map[string]int64 `json:"event_counts,omitempty"`
 	// Metrics holds scalar results ("phase.reno.mean_eta": 1.2, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
+	// Error records why the run ended, when it ended badly — flight
+	// recorder post-mortem dumps set it to the run error or panic.
+	Error string `json:"error,omitempty"`
 }
 
 // RunLogWriter writes a run log: a manifest line, streamed event
@@ -134,6 +137,7 @@ func ReadRunLog(r io.Reader) (*RunLog, error) {
 			Note        string             `json:"note"`
 			EventCounts map[string]int64   `json:"event_counts"`
 			Metrics     map[string]float64 `json:"metrics"`
+			Error       string             `json:"error"`
 		}
 		if err := json.Unmarshal(raw, &line); err != nil {
 			return nil, fmt.Errorf("obs: run log line %d: %w", lineNo, err)
@@ -154,7 +158,7 @@ func ReadRunLog(r io.Reader) (*RunLog, error) {
 				Note: line.Note,
 			})
 		case "summary":
-			out.Summary = &Summary{EventCounts: line.EventCounts, Metrics: line.Metrics}
+			out.Summary = &Summary{EventCounts: line.EventCounts, Metrics: line.Metrics, Error: line.Error}
 		default:
 			return nil, fmt.Errorf("obs: run log line %d: unknown type %q", lineNo, line.Type)
 		}

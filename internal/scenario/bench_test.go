@@ -2,7 +2,11 @@ package scenario
 
 import (
 	"context"
+	"io"
 	"testing"
+	"time"
+
+	"repro/internal/obs"
 )
 
 // fig3Grid is the benchmark workload: a fig3-style seed sweep of the
@@ -56,4 +60,58 @@ func BenchmarkSweep(b *testing.B) {
 	}
 	b.Run("sequential", bench(1))
 	b.Run("workers4", bench(4))
+}
+
+// BenchmarkSweepWithProgress measures what the telemetry layer costs a
+// real sweep: the same fig3-style grid with progress disabled (the nil
+// fast path), with a full SweepReporter (JSONL stream + metrics), and
+// with flight recorders attached. The acceptance bar is <=5% wall
+// overhead for the enabled variants — the per-run work is a handful of
+// mutex-serialized aggregate updates and one JSONL line against a
+// multi-second simulation:
+//
+//	go test -bench SweepWithProgress -benchtime 1x ./internal/scenario
+func BenchmarkSweepWithProgress(b *testing.B) {
+	specs := fig3Grid(b)
+	bench := func(setup func(*testing.B, *Runner) func()) func(*testing.B) {
+		return func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := &Runner{Workers: 4}
+				finish := setup(b, r)
+				results, err := r.Sweep(context.Background(), specs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, res := range results {
+					if res.Err != "" {
+						b.Fatal(res.Err)
+					}
+				}
+				if finish != nil {
+					finish()
+				}
+			}
+			b.ReportMetric(float64(len(specs)), "runs/sweep")
+		}
+	}
+	b.Run("disabled", bench(func(*testing.B, *Runner) func() { return nil }))
+	b.Run("reporter", bench(func(b *testing.B, r *Runner) func() {
+		rep := &SweepReporter{JSONL: io.Discard, Reg: obs.NewRegistry(), AggregateEvery: time.Second}
+		r.ProgressFunc = rep.Func()
+		return func() {
+			if err := rep.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	b.Run("reporter+flight", bench(func(b *testing.B, r *Runner) func() {
+		rep := &SweepReporter{JSONL: io.Discard, Reg: obs.NewRegistry(), AggregateEvery: time.Second}
+		r.ProgressFunc = rep.Func()
+		r.FlightDir = b.TempDir()
+		return func() {
+			if err := rep.Close(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
 }

@@ -3,7 +3,11 @@ package scenario
 import (
 	"context"
 	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"time"
 
@@ -28,6 +32,10 @@ type RunResult struct {
 	// Elapsed is the run's wall-clock time (zero on cache hits).
 	// Excluded from JSON for the same reason.
 	Elapsed time.Duration `json:"-"`
+	// FlightDump is the path of the post-mortem flight-recorder
+	// artifact written for this run, when it failed and the runner has
+	// a FlightDir. Excluded from JSON: paths are machine-local.
+	FlightDump string `json:"-"`
 
 	value any
 }
@@ -55,6 +63,39 @@ type Runner struct {
 	// for concurrent use; the scopes it returns must be distinct per
 	// call — runs must never share metric registries or tracers.
 	NewScope func(Spec) *obs.Scope
+
+	// ProgressFunc, when non-nil, observes sweep progress: exactly one
+	// RunStarted and one RunFinished event per spec (cache hits
+	// included), each carrying the sweep-level aggregates as of that
+	// moment. Calls are serialized by the runner, so implementations
+	// need no locking, but they run on the sweep's critical path —
+	// keep them cheap and never block. Nil costs the sweep one branch
+	// per run and zero allocations.
+	ProgressFunc func(ProgressEvent)
+
+	// FlightDir, when non-empty, attaches a bounded obs.FlightRecorder
+	// to every swept run (merged into the run's scope tracer, or
+	// standing in as the tracer when the run is otherwise unobserved)
+	// and, when the run returns an error or panics, dumps the retained
+	// event tail as a ReadRunLog-compatible JSONL artifact at
+	// <FlightDir>/<hash>.flight.jsonl. Panics in experiment code are
+	// recovered in the worker either way and recorded as run errors;
+	// DumpActiveFlights serves the SIGQUIT path.
+	FlightDir string
+	// FlightEvents bounds each run's flight ring (<=0 means
+	// obs.DefaultFlightEvents).
+	FlightEvents int
+
+	// flightMu guards the in-flight recorder table DumpActiveFlights
+	// snapshots.
+	flightMu sync.Mutex
+	flights  map[int]*flightEntry
+}
+
+type flightEntry struct {
+	spec Spec
+	hash string
+	fr   *obs.FlightRecorder
 }
 
 func (r *Runner) workers() int {
@@ -67,27 +108,29 @@ func (r *Runner) workers() int {
 // Run executes a single spec through the registry, bypassing the
 // cache.
 func (r *Runner) Run(ctx context.Context, sp Spec) RunResult {
-	return r.runOne(ctx, sp, false)
+	return r.runOne(ctx, sp, false, nil)
 }
 
 // Sweep executes every spec across the worker pool and returns results
-// in input order regardless of completion order. A failing run records
-// its error in its slot and does not stop the sweep. When ctx is
-// cancelled, workers stop picking up new specs promptly (in-flight
-// simulations finish — the event loop is not interruptible), unstarted
-// slots carry the context error, and Sweep returns ctx.Err().
+// in input order regardless of completion order. A failing or
+// panicking run records its error in its slot and does not stop the
+// sweep. When ctx is cancelled, workers stop picking up new specs
+// promptly (in-flight simulations finish — the event loop is not
+// interruptible), unstarted slots carry the context error, and Sweep
+// returns ctx.Err().
 func (r *Runner) Sweep(ctx context.Context, specs []Spec) ([]RunResult, error) {
 	results := make([]RunResult, len(specs))
+	st := newSweepState(len(specs))
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < r.workers(); w++ {
 		wg.Add(1)
-		go func() {
+		go func(worker int) {
 			defer wg.Done()
 			for i := range jobs {
-				results[i] = r.runOne(ctx, specs[i], true)
+				results[i] = r.runSwept(ctx, specs[i], i, worker, st)
 			}
-		}()
+		}(w)
 	}
 dispatch:
 	for i := range specs {
@@ -110,7 +153,109 @@ dispatch:
 	return results, nil
 }
 
-func (r *Runner) runOne(ctx context.Context, sp Spec, useCache bool) RunResult {
+// runSwept wraps runOne with the sweep-only concerns: progress
+// events, the per-run flight recorder, and panic recovery.
+func (r *Runner) runSwept(ctx context.Context, sp Spec, index, worker int, st *sweepState) (res RunResult) {
+	hash := sp.Hash()
+	var fr *obs.FlightRecorder
+	if r.FlightDir != "" {
+		fr = obs.NewFlightRecorder(r.FlightEvents)
+		r.trackFlight(index, sp, hash, fr)
+		defer r.untrackFlight(index)
+	}
+	startAt := st.sinceStart()
+	r.emitProgress(st, RunStarted, RunStats{
+		Index: index, Spec: sp, Hash: hash, Worker: worker, Start: startAt,
+	})
+
+	res = RunResult{Spec: sp, Hash: hash}
+	func() {
+		defer func() {
+			if p := recover(); p != nil {
+				res.Err = fmt.Sprintf("panic: %v\n%s", p, debug.Stack())
+			}
+		}()
+		res = r.runOne(ctx, sp, true, fr)
+	}()
+	if res.Err != "" && fr != nil {
+		if path, err := r.dumpFlight(sp, hash, fr, res.Err); err == nil {
+			res.FlightDump = path
+		}
+	}
+
+	r.emitProgress(st, RunFinished, RunStats{
+		Index: index, Spec: sp, Hash: hash, Worker: worker,
+		Start: startAt, Elapsed: res.Elapsed,
+		Cached: res.Cached, Err: res.Err, FlightDump: res.FlightDump,
+	})
+	return res
+}
+
+func (r *Runner) trackFlight(index int, sp Spec, hash string, fr *obs.FlightRecorder) {
+	r.flightMu.Lock()
+	if r.flights == nil {
+		r.flights = make(map[int]*flightEntry)
+	}
+	r.flights[index] = &flightEntry{spec: sp, hash: hash, fr: fr}
+	r.flightMu.Unlock()
+}
+
+func (r *Runner) untrackFlight(index int) {
+	r.flightMu.Lock()
+	delete(r.flights, index)
+	r.flightMu.Unlock()
+}
+
+// DumpActiveFlights writes a post-mortem artifact for every run
+// currently in flight and returns the paths written. It is the
+// SIGQUIT hook for stalled sweeps: ccac installs a handler that calls
+// it so "what was the sweep doing?" has an answer even when no run
+// has failed yet. Dumps race the still-running workers by design and
+// may contain a few torn events; the runs themselves are undisturbed.
+func (r *Runner) DumpActiveFlights() []string {
+	r.flightMu.Lock()
+	entries := make([]*flightEntry, 0, len(r.flights))
+	for _, e := range r.flights {
+		entries = append(entries, e)
+	}
+	r.flightMu.Unlock()
+	var paths []string
+	for _, e := range entries {
+		if path, err := r.dumpFlight(e.spec, e.hash, e.fr, "in flight (SIGQUIT dump)"); err == nil {
+			paths = append(paths, path)
+		}
+	}
+	return paths
+}
+
+// dumpFlight writes the recorder's tail as a run log named by the
+// spec hash. Dump failures are not run failures: the run's own error
+// is already recorded, and a read-only artifact must never change
+// sweep results.
+func (r *Runner) dumpFlight(sp Spec, hash string, fr *obs.FlightRecorder, errMsg string) (string, error) {
+	if err := os.MkdirAll(r.FlightDir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(r.FlightDir, hash+".flight.jsonl")
+	m := obs.Manifest{
+		Tool:       "ccac/" + sp.Experiment,
+		Seed:       sp.Seed,
+		FaultSeed:  sp.FaultSeed,
+		Profile:    sp.FaultProfile,
+		RateBps:    sp.RateBps,
+		RTTSeconds: sp.RTT().Seconds(),
+		Queue:      sp.Queue,
+		BufferBDP:  sp.BufferBDP,
+		Phases:     sp.Phases,
+		Extra:      map[string]string{"spec_hash": hash, "artifact": "flight"},
+	}
+	if err := fr.DumpFile(path, m, errMsg); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func (r *Runner) runOne(ctx context.Context, sp Spec, useCache bool, fr *obs.FlightRecorder) RunResult {
 	res := RunResult{Spec: sp, Hash: sp.Hash()}
 	if err := ctx.Err(); err != nil {
 		res.Err = err.Error()
@@ -131,6 +276,18 @@ func (r *Runner) runOne(ctx context.Context, sp Spec, useCache bool) RunResult {
 	var sc *obs.Scope
 	if r.NewScope != nil {
 		sc = r.NewScope(sp)
+	}
+	if fr != nil {
+		// The flight recorder rides the run's tracer seat: alone when
+		// the run is otherwise untraced, fanned out otherwise.
+		if sc == nil {
+			sc = &obs.Scope{}
+		}
+		if sc.Tracer == nil {
+			sc.Tracer = fr
+		} else {
+			sc.Tracer = obs.Multi{sc.Tracer, fr}
+		}
 	}
 	start := time.Now()
 	v, err := exp.Run(ctx, sp, sc)
