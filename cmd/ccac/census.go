@@ -1,0 +1,316 @@
+package main
+
+// ccac census drives a population-scale contention census: a model
+// file describes the distribution of paths (CCA mix, queue deployment,
+// rate/RTT/buffer distributions, fault prevalence), and the subcommands
+// sample, execute, classify, and aggregate duel cells over it.
+//
+//	ccac census gen   [-model FILE|-] [-samples N] [-json]
+//	ccac census run   [-model FILE|-] [-n N] [-seed N] [-shard k/M | -fork M]
+//	                  [-workers N] [-cache DIR] [-progress] [-out FILE]
+//	ccac census merge [-out FILE] <partial.json ...>
+//
+// `run` with -shard k/M executes one index slice of the population and
+// writes a mergeable partial; without it, the whole census runs in one
+// process and emits the final report. -fork M is the convenience
+// middle ground: it re-executes this binary as M shard processes,
+// merges their partials, and emits a report byte-identical to the
+// single-process run. Spec i of a model is a pure function of
+// (model hash, i), so shards regenerate their slices independently —
+// nothing is ever materialized or shipped but the aggregates.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/census"
+	"repro/internal/scenario"
+)
+
+func cmdCensus(args []string) {
+	if len(args) < 1 {
+		censusUsage(os.Stderr)
+		os.Exit(2)
+	}
+	switch args[0] {
+	case "gen":
+		cmdCensusGen(args[1:])
+	case "run":
+		cmdCensusRun(args[1:])
+	case "merge":
+		cmdCensusMerge(args[1:])
+	case "-h", "-help", "--help", "help":
+		censusUsage(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "ccac census: unknown subcommand %q\n\n", args[0])
+		censusUsage(os.Stderr)
+		os.Exit(2)
+	}
+}
+
+func censusUsage(w io.Writer) {
+	fmt.Fprintln(w, "usage:")
+	fmt.Fprintln(w, "  ccac census gen [-model FILE|-] [-samples N] [-json]   print a model's expansion stats")
+	fmt.Fprintln(w, "  ccac census run [-model FILE|-] [-n N] [-seed N]")
+	fmt.Fprintln(w, "                  [-shard k/M | -fork M] [-workers N]")
+	fmt.Fprintln(w, "                  [-cache DIR] [-progress] [-out FILE]   run a census (or one shard of it)")
+	fmt.Fprintln(w, "  ccac census merge [-out FILE] <partial.json ...>       fold shard partials into the report")
+	fmt.Fprintln(w, "run 'ccac census <sub> -h' for flags; no -model uses the built-in default population")
+}
+
+// censusModelFlags declares the shared model-shaping flags and returns
+// a closure that loads, overrides, and validates the model.
+func censusModelFlags(fs *flag.FlagSet) func() census.Model {
+	modelPath := fs.String("model", "", "population model JSON file ('-' for stdin; empty = built-in default)")
+	n := fs.Int("n", 0, "override the model's population size")
+	seed := fs.Int64("seed", 0, "override the model's base seed")
+	return func() census.Model {
+		var m census.Model
+		if *modelPath == "" {
+			m = census.DefaultModel()
+		} else {
+			var b []byte
+			var err error
+			if *modelPath == "-" {
+				b, err = io.ReadAll(os.Stdin)
+			} else {
+				b, err = os.ReadFile(*modelPath)
+			}
+			fail(err)
+			m, err = census.ParseModel(b)
+			fail(err)
+		}
+		fs.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "n":
+				m.N = *n
+			case "seed":
+				m.Seed = *seed
+			}
+		})
+		fail(m.Validate())
+		return m
+	}
+}
+
+func cmdCensusGen(args []string) {
+	fs := flag.NewFlagSet("ccac census gen", flag.ExitOnError)
+	model := censusModelFlags(fs)
+	samples := fs.Int("samples", 3, "sample specs to include as a spot check")
+	asJSON := fs.Bool("json", false, "print the canonical expansion record instead of a summary")
+	fs.Parse(args)
+	m := model()
+	st := m.Expansion(*samples)
+	if *asJSON {
+		b, err := scenario.CanonicalJSON(st)
+		fail(err)
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Printf("census model %q\n", m.Name)
+	fmt.Printf("  hash    %s\n", st.ModelHash)
+	fmt.Printf("  n       %d specs\n", st.N)
+	fmt.Printf("  cell    duel, %.3gs simulated each\n", m.DurationS)
+	fmt.Printf("  strata  %d (%s)\n", len(st.Strata), strings.Join(st.Strata, ", "))
+	for i, sp := range st.SampleSpecs {
+		fmt.Printf("  spec %-3d %s vs %s  queue=%s faults=%s rate=%s rtt=%.1fms buf=%.2fbdp\n",
+			i, sp.CCAs[0], sp.CCAs[1], sp.Queue, sp.FaultProfile,
+			fmtBps(sp.RateBps), sp.RTTMs, sp.BufferBDP)
+	}
+}
+
+func fmtBps(bps float64) string {
+	switch {
+	case bps >= 1e9:
+		return fmt.Sprintf("%.2fGbit/s", bps/1e9)
+	case bps >= 1e6:
+		return fmt.Sprintf("%.2fMbit/s", bps/1e6)
+	default:
+		return fmt.Sprintf("%.0fbit/s", bps)
+	}
+}
+
+func cmdCensusRun(args []string) {
+	fs := flag.NewFlagSet("ccac census run", flag.ExitOnError)
+	model := censusModelFlags(fs)
+	shard := fs.String("shard", "", "run only index slice k/M of the population and emit a mergeable partial")
+	forkN := fs.Int("fork", 0, "split the census across N child processes and merge their partials")
+	workers := fs.Int("workers", 0, "worker pool size per process (0 = GOMAXPROCS)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory (shared across shards)")
+	progress := fs.Bool("progress", false, "render a live one-line status to stderr")
+	out := fs.String("out", "", "write the partial/report here (default stdout)")
+	fs.Parse(args)
+	if *shard != "" && *forkN > 0 {
+		fail(fmt.Errorf("-shard and -fork are mutually exclusive"))
+	}
+	m := model()
+
+	if *forkN > 0 {
+		censusFork(m, *forkN, *workers, *cacheDir, *progress, *out)
+		return
+	}
+
+	lo, hi := 0, m.N
+	if *shard != "" {
+		var k, total int
+		if _, err := fmt.Sscanf(*shard, "%d/%d", &k, &total); err != nil {
+			fail(fmt.Errorf("census: -shard wants k/M, got %q", *shard))
+		}
+		var err error
+		lo, hi, err = census.ShardRange(m.N, k, total)
+		fail(err)
+	}
+
+	runner := &scenario.Runner{Workers: *workers}
+	if *cacheDir != "" {
+		var err error
+		runner.Cache, err = scenario.NewCache(*cacheDir)
+		fail(err)
+	}
+	rep := &scenario.SweepReporter{AggregateEvery: time.Second}
+	if *progress {
+		rep.TTY = os.Stderr
+		runner.ProgressFunc = rep.Func()
+	}
+
+	start := time.Now()
+	p, err := census.RunShard(signalContext(), runner, m, lo, hi)
+	fail(err)
+	if *progress {
+		fail(rep.Close())
+		rep.Summarize(os.Stderr)
+	}
+
+	if *shard != "" {
+		b, err := p.Encode()
+		fail(err)
+		writeOut(*out, b)
+		fmt.Fprintf(os.Stderr, "ccac: census shard %s: %d specs [%d, %d) in %v\n",
+			*shard, hi-lo, lo, hi, time.Since(start).Round(time.Millisecond))
+		return
+	}
+	report := census.ReportOf(m, p.Agg)
+	b, err := report.Encode()
+	fail(err)
+	writeOut(*out, b)
+	report.WriteTable(os.Stderr)
+	fmt.Fprintf(os.Stderr, "ccac: census: %d specs in %v\n", m.N, time.Since(start).Round(time.Millisecond))
+}
+
+// censusFork re-executes this binary as one shard process per slice,
+// then merges the partials. Children regenerate their spec slices from
+// the model file alone — the only bytes that cross process boundaries
+// are the model going out and the aggregates coming back.
+func censusFork(m census.Model, shards, workers int, cacheDir string, progress bool, out string) {
+	if shards > m.N {
+		shards = m.N
+	}
+	dir, err := os.MkdirTemp("", "ccac-census-*")
+	fail(err)
+	defer os.RemoveAll(dir)
+
+	modelPath := filepath.Join(dir, "model.json")
+	mb, err := scenario.CanonicalJSON(m)
+	fail(err)
+	fail(os.WriteFile(modelPath, append(mb, '\n'), 0o644))
+
+	self, err := os.Executable()
+	fail(err)
+	start := time.Now()
+	procs := make([]*exec.Cmd, shards)
+	partials := make([]string, shards)
+	for k := 0; k < shards; k++ {
+		partials[k] = filepath.Join(dir, fmt.Sprintf("partial-%d.json", k))
+		args := []string{"census", "run",
+			"-model", modelPath,
+			"-shard", fmt.Sprintf("%d/%d", k, shards),
+			"-out", partials[k],
+		}
+		if workers > 0 {
+			args = append(args, "-workers", fmt.Sprint(workers))
+		}
+		if cacheDir != "" {
+			args = append(args, "-cache", cacheDir)
+		}
+		if progress && k == 0 {
+			// One shard narrates; M interleaved progress lines are noise.
+			args = append(args, "-progress")
+		}
+		cmd := exec.Command(self, args...)
+		cmd.Stderr = os.Stderr
+		cmd.Stdout = os.Stderr
+		fail(cmd.Start())
+		procs[k] = cmd
+	}
+	var firstErr error
+	for k, cmd := range procs {
+		if err := cmd.Wait(); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("census: shard %d/%d: %w", k, shards, err)
+		}
+	}
+	fail(firstErr)
+
+	parts := make([]census.Partial, 0, shards)
+	for _, path := range partials {
+		b, err := os.ReadFile(path)
+		fail(err)
+		p, err := census.ParsePartial(b)
+		fail(err)
+		parts = append(parts, p)
+	}
+	report, err := census.Merge(parts)
+	fail(err)
+	b, err := report.Encode()
+	fail(err)
+	writeOut(out, b)
+	report.WriteTable(os.Stderr)
+	fmt.Fprintf(os.Stderr, "ccac: census: %d specs across %d shard processes in %v\n",
+		m.N, shards, time.Since(start).Round(time.Millisecond))
+}
+
+func cmdCensusMerge(args []string) {
+	fs := flag.NewFlagSet("ccac census merge", flag.ExitOnError)
+	out := fs.String("out", "", "write the report here (default stdout)")
+	quiet := fs.Bool("quiet", false, "suppress the human-readable table on stderr")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: ccac census merge [-out FILE] <partial.json ...>")
+		fs.PrintDefaults()
+	}
+	fs.Parse(args)
+	if fs.NArg() < 1 {
+		fs.Usage()
+		os.Exit(2)
+	}
+	parts := make([]census.Partial, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		b, err := os.ReadFile(path)
+		fail(err)
+		p, err := census.ParsePartial(b)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		parts = append(parts, p)
+	}
+	report, err := census.Merge(parts)
+	fail(err)
+	b, err := report.Encode()
+	fail(err)
+	writeOut(*out, b)
+	if !*quiet {
+		report.WriteTable(os.Stderr)
+	}
+}
+
+func writeOut(path string, b []byte) {
+	if path == "" {
+		os.Stdout.Write(b)
+		return
+	}
+	fail(os.WriteFile(path, b, 0o644))
+}

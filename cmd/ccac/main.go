@@ -14,6 +14,7 @@
 //	ccac sweep [-workers N | -seq] [-cache DIR] [-out results.json]
 //	           [-progress] [-progress-jsonl events.jsonl] [-flight DIR]
 //	           [-admin ADDR] <grid.json|->
+//	ccac census <gen|run|merge> [flags]
 //
 // `run` executes one experiment from its registered defaults plus any
 // explicitly set flags and prints its table (or, with -json, the
@@ -21,7 +22,10 @@
 // product into specs and executes them across a worker pool with
 // per-run observability scopes and an optional content-addressed
 // result cache; its output is a canonical JSON array, byte-identical
-// between sequential and parallel execution of the same grid.
+// between sequential and parallel execution of the same grid. `census`
+// samples, executes, classifies, and aggregates duel cells over a
+// parameterized population model, single-process or sharded across
+// processes (see cmd/ccac/census.go and docs/CENSUS.md).
 //
 // Long sweeps are observable while they run: -progress renders a live
 // one-line status on stderr, -progress-jsonl streams one
@@ -66,6 +70,8 @@ func main() {
 		cmdRun(os.Args[2:])
 	case "sweep":
 		cmdSweep(os.Args[2:])
+	case "census":
+		cmdCensus(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage(os.Stdout)
 	default:
@@ -80,7 +86,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  ccac list                         list experiments and fault profiles")
 	fmt.Fprintln(w, "  ccac run <experiment> [flags]     run one experiment, print its table")
 	fmt.Fprintln(w, "  ccac sweep [flags] <grid.json|->  expand a grid and sweep it")
-	fmt.Fprintln(w, "run 'ccac run -h' or 'ccac sweep -h' for flags")
+	fmt.Fprintln(w, "  ccac census <gen|run|merge>       population-scale contention census")
+	fmt.Fprintln(w, "run 'ccac run -h', 'ccac sweep -h', or 'ccac census -h' for flags")
 }
 
 func cmdList(w io.Writer) {

@@ -1,0 +1,131 @@
+package census
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/scenario"
+)
+
+// The streaming acceptance benchmark: a census must stream its
+// population through the sweep spine without materializing the spec
+// list, so allocations per spec stay flat from 10^3 to 10^5 specs. The
+// cell execution is stubbed (census-noop) — the benchmark measures the
+// spine (sample -> hash -> dispatch -> classify -> aggregate), not the
+// simulator:
+//
+//	go test -run '^$' -bench BenchmarkCensusStream -benchtime 1x ./internal/census
+type noopDuel struct {
+	Config struct {
+		RateBps      float64
+		Queue        string
+		FaultProfile string
+	}
+	Tput1Bps float64
+	Tput2Bps float64
+	Jain     float64
+}
+
+func init() {
+	scenario.Register(scenario.Experiment{
+		Name:        "census-noop",
+		Description: "benchmark stub: a duel-shaped result without the simulation",
+		Run: func(ctx context.Context, sp scenario.Spec, sc *obs.Scope) (any, error) {
+			var d noopDuel
+			d.Config.RateBps = sp.RateBps
+			d.Config.Queue = sp.Queue
+			d.Config.FaultProfile = sp.FaultProfile
+			d.Tput1Bps = 0.4 * sp.RateBps
+			d.Tput2Bps = 0.58 * sp.RateBps
+			d.Jain = 0.97
+			return &d, nil
+		},
+	})
+}
+
+// noopSource retargets a census source at the stub experiment so the
+// stream benchmark exercises the spine at full population scale.
+type noopSource struct{ inner scenario.SpecSource }
+
+func (s noopSource) Next() (scenario.Spec, bool, error) {
+	sp, ok, err := s.inner.Next()
+	sp.Experiment = "census-noop"
+	return sp, ok, err
+}
+
+func (s noopSource) Count() (int, bool) { return s.inner.Count() }
+
+func benchModel(n int) Model {
+	m := DefaultModel()
+	m.N = n
+	return m
+}
+
+func BenchmarkCensusStream(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		n := n
+		b.Run(sizeName(n), func(b *testing.B) {
+			m := benchModel(n)
+			r := &scenario.Runner{Workers: 4}
+			b.ReportAllocs()
+			var ms0, ms1 runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&ms0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				src, err := m.Source(0, n)
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg := NewAggregate()
+				if err := r.SweepStream(context.Background(), noopSource{src}, func(res scenario.RunResult) error {
+					agg.Add(Classify(res))
+					return nil
+				}); err != nil {
+					b.Fatal(err)
+				}
+				if agg.Overall.Total != n {
+					b.Fatalf("aggregated %d of %d specs", agg.Overall.Total, n)
+				}
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&ms1)
+			// The flat-allocs criterion: this metric must not grow with n.
+			b.ReportMetric(float64(ms1.Mallocs-ms0.Mallocs)/float64(b.N*n), "allocs/spec")
+			b.ReportMetric(float64(b.N*n)/b.Elapsed().Seconds(), "specs/s")
+		})
+	}
+}
+
+// BenchmarkCensusSpecAt isolates the sampler: one spec materialized
+// per index, no sweep machinery.
+func BenchmarkCensusSpecAt(b *testing.B) {
+	m := benchModel(100000)
+	h := hashedModel{m: m, hash: m.Hash()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := h.specAt(i % m.N)
+		if sp.Experiment != "duel" {
+			b.Fatal("bad spec")
+		}
+	}
+}
+
+func sizeName(n int) string {
+	switch {
+	case n >= 1000000:
+		return "n=1M"
+	case n >= 1000:
+		switch n / 1000 {
+		case 1:
+			return "n=1k"
+		case 10:
+			return "n=10k"
+		case 100:
+			return "n=100k"
+		}
+	}
+	return "n=?"
+}

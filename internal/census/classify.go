@@ -1,0 +1,142 @@
+package census
+
+import (
+	"encoding/json"
+	"math"
+
+	"repro/internal/contention"
+	"repro/internal/scenario"
+	"repro/internal/sim"
+)
+
+// Classification labels what determined one sampled path's outcome, in
+// the paper's taxonomy: contention between CCAs at a shared queue,
+// the CCA's own (self-inflicted) dynamics, or neither distinguishably.
+type Classification string
+
+const (
+	// ClassContention: the paths share a bottleneck queue and the
+	// allocation deviates substantially from the fair split — CCA
+	// contention determined who got what.
+	ClassContention Classification = "contention-dominated"
+	// ClassSelfInflicted: either the discipline isolates the flows (so
+	// contention cannot determine the allocation) or the pair leaves
+	// the link badly underutilized — the CCA's own dynamics, not the
+	// other flow, produced the outcome.
+	ClassSelfInflicted Classification = "self-inflicted"
+	// ClassInconclusive: the run failed, produced non-finite numbers,
+	// or landed close enough to fair full utilization that neither
+	// label is defensible.
+	ClassInconclusive Classification = "inconclusive"
+)
+
+// Thresholds for the classifier, exported so reports can state them.
+const (
+	// DeviationFrac is the relative deviation from the fair share
+	// beyond which a shared-queue allocation counts as
+	// contention-determined (reusing contention.Outcome's test).
+	DeviationFrac = 0.2
+	// UtilFloor is the utilization below which a cell's shortfall is
+	// attributed to the CCAs themselves rather than to contention.
+	UtilFloor = 0.5
+)
+
+// Obs is one classified census cell: the class plus the observables
+// the aggregate folds into its per-stratum sketches.
+type Obs struct {
+	Class Classification
+	// Queue and Fault locate the cell's stratum.
+	Queue, Fault string
+	// Jain is the two-flow Jain fairness index; Util the combined
+	// post-warmup utilization of the bottleneck. Both are valid only
+	// when Class != ClassInconclusive or Err is empty.
+	Jain, Util float64
+	// Err carries the run error for failed cells.
+	Err string
+}
+
+// duelOutcome is the subset of core.DuelResult the classifier reads,
+// decoded from the run's canonical result record. (Field names match
+// core.DuelResult, which has no JSON tags.)
+type duelOutcome struct {
+	Config struct {
+		RateBps      float64
+		Queue        string
+		FaultProfile string
+	}
+	Tput1Bps float64
+	Tput2Bps float64
+	Jain     float64
+}
+
+// isolatedQueue reports whether the discipline gives each flow its own
+// queue at the bottleneck — per-flow or per-user scheduling — versus
+// an aggregate FIFO/shaper/policer where the flows' packets compete in
+// one queue.
+func isolatedQueue(queue string) bool {
+	switch queue {
+	case "fq", "fq_codel", "sfq", "user-iso":
+		return true
+	default: // droptail, shaper, policer
+		return false
+	}
+}
+
+// Classify labels one census run. The stratum (queue, fault) comes
+// from the spec so even failed runs land in the right cell; the class
+// reuses internal/contention's prerequisite and deviation machinery
+// against the cell's known topology.
+func Classify(res scenario.RunResult) Obs {
+	o := Obs{Queue: res.Spec.Queue, Fault: res.Spec.FaultProfile}
+	if o.Fault == "" {
+		o.Fault = "clean"
+	}
+	if res.Err != "" {
+		o.Class, o.Err = ClassInconclusive, res.Err
+		return o
+	}
+	var d duelOutcome
+	if err := json.Unmarshal(res.Result, &d); err != nil {
+		o.Class, o.Err = ClassInconclusive, "undecodable result: "+err.Error()
+		return o
+	}
+	rate := d.Config.RateBps
+	t1, t2 := d.Tput1Bps, d.Tput2Bps
+	if !(rate > 0) || math.IsNaN(t1) || math.IsNaN(t2) || t1 < 0 || t2 < 0 {
+		o.Class, o.Err = ClassInconclusive, "non-finite duel outcome"
+		return o
+	}
+	o.Jain = d.Jain
+	o.Util = (t1 + t2) / rate
+
+	// The cell's ground-truth topology: two backlogged flows through
+	// one bottleneck link. Prerequisites (i) and (ii) always hold by
+	// construction; (iii) — same queue — is the discipline's call.
+	link := &sim.Link{Rate: rate}
+	a := &contention.FlowInfo{ID: 1, Path: []*sim.Link{link}}
+	b := &contention.FlowInfo{ID: 2, Path: []*sim.Link{link}}
+	if isolatedQueue(d.Config.Queue) {
+		a.QueueID = map[*sim.Link]int{link: 1}
+		b.QueueID = map[*sim.Link]int{link: 2}
+	}
+	_, _, sameQueue := contention.Prerequisites(a, b)
+
+	switch {
+	case !sameQueue:
+		// The discipline removed prerequisite (iii): whatever each
+		// flow achieves in its own queue is its own doing.
+		o.Class = ClassSelfInflicted
+	case o.Util < UtilFloor:
+		// Shared queue but half the link idle: the CCAs are starving
+		// themselves (lossy path, timid controller), not each other.
+		o.Class = ClassSelfInflicted
+	case contention.Outcome{FlowID: 1, SoloBps: rate / 2, AchievedBps: t1}.Determined(DeviationFrac) ||
+		contention.Outcome{FlowID: 2, SoloBps: rate / 2, AchievedBps: t2}.Determined(DeviationFrac):
+		// Shared queue, link busy, allocation far from the fair
+		// split: contention between the CCAs decided it.
+		o.Class = ClassContention
+	default:
+		o.Class = ClassInconclusive
+	}
+	return o
+}

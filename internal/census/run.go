@@ -1,0 +1,28 @@
+package census
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// RunShard streams index slice [lo, hi) of the model's population
+// through the runner, classifying and aggregating each result as it
+// lands. Memory stays O(workers + strata) no matter how large the
+// slice: specs are sampled on demand and results fold straight into
+// the aggregate.
+func RunShard(ctx context.Context, r *scenario.Runner, m Model, lo, hi int) (Partial, error) {
+	src, err := m.Source(lo, hi)
+	if err != nil {
+		return Partial{}, err
+	}
+	agg := NewAggregate()
+	if err := r.SweepStream(ctx, src, func(res scenario.RunResult) error {
+		agg.Add(Classify(res))
+		return nil
+	}); err != nil {
+		return Partial{}, fmt.Errorf("census: shard [%d, %d): %w", lo, hi, err)
+	}
+	return Partial{ModelHash: m.Hash(), Model: m, Lo: lo, Hi: hi, Agg: agg}, nil
+}

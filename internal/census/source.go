@@ -1,0 +1,40 @@
+package census
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// source streams one index slice [i, hi) of a model's population as a
+// scenario.SpecSource. It materializes nothing: each Next call samples
+// the current index and advances, so a 10^5-spec census holds one spec
+// in memory, not a slice of all of them.
+type source struct {
+	h  hashedModel
+	i  int
+	hi int
+}
+
+// Source returns the SpecSource for shard slice [lo, hi) of the
+// model's population. Pass (0, m.N) for the whole census.
+func (m Model) Source(lo, hi int) (scenario.SpecSource, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi > m.N || lo > hi {
+		return nil, fmt.Errorf("census: index slice [%d, %d) outside population [0, %d)", lo, hi, m.N)
+	}
+	return &source{h: hashedModel{m: m, hash: m.Hash()}, i: lo, hi: hi}, nil
+}
+
+func (s *source) Next() (scenario.Spec, bool, error) {
+	if s.i >= s.hi {
+		return scenario.Spec{}, false, nil
+	}
+	sp := s.h.specAt(s.i)
+	s.i++
+	return sp, true, nil
+}
+
+func (s *source) Count() (int, bool) { return s.hi - s.i, true }

@@ -50,21 +50,27 @@ func ParseGrid(b []byte) (Grid, error) {
 	return g, nil
 }
 
-// Expand returns the grid's specs in canonical order.
-func (g Grid) Expand() ([]Spec, error) {
+// choice is one point on one axis: a label (for derived seeds) and a
+// spec mutation. A zero choice is the identity an empty axis
+// contributes.
+type choice struct {
+	label string
+	apply func(*Spec)
+}
+
+// axes validates the grid and builds its choice lists in canonical
+// order. Both the streaming source and the materialized expansion are
+// derived from this single definition, so they cannot drift.
+func (g Grid) axes() ([4][]choice, error) {
 	if g.Base.Experiment == "" {
-		return nil, fmt.Errorf("scenario: grid has no base.experiment")
+		return [4][]choice{}, fmt.Errorf("scenario: grid has no base.experiment")
 	}
 	if len(g.CCAs) > 0 && len(g.Pairs) > 0 {
-		return nil, fmt.Errorf("scenario: grid sets both ccas and pairs axes")
+		return [4][]choice{}, fmt.Errorf("scenario: grid sets both ccas and pairs axes")
 	}
 
 	// Each axis contributes a list of (label, mutation) choices; an
 	// empty axis contributes the identity.
-	type choice struct {
-		label string
-		apply func(*Spec)
-	}
 	axis := func(cs []choice) []choice {
 		if len(cs) == 0 {
 			return []choice{{}}
@@ -118,29 +124,86 @@ func (g Grid) Expand() ([]Spec, error) {
 		})
 	}
 
-	var specs []Spec
-	for _, c1 := range axis(ccaAxis) {
-		for _, c2 := range axis(queueAxis) {
-			for _, c3 := range axis(faultAxis) {
-				for _, c4 := range axis(seedAxis) {
-					sp := g.Base
-					key := ""
-					for _, c := range []choice{c1, c2, c3, c4} {
-						if c.apply != nil {
-							c.apply(&sp)
-							key += c.label + ";"
-						}
-					}
-					if g.DeriveSeeds {
-						sp.Seed = faults.DeriveSeed(g.Base.Seed, "point:"+key)
-						if sp.FaultProfile != "" && sp.FaultSeed == 0 {
-							sp.FaultSeed = faults.DeriveSeed(sp.Seed, "fault")
-						}
-					}
-					specs = append(specs, sp)
-				}
-			}
+	return [4][]choice{axis(ccaAxis), axis(queueAxis), axis(faultAxis), axis(seedAxis)}, nil
+}
+
+// point materializes the spec at one choice tuple.
+func (g Grid) point(cs [4]choice) Spec {
+	sp := g.Base
+	key := ""
+	for _, c := range cs {
+		if c.apply != nil {
+			c.apply(&sp)
+			key += c.label + ";"
 		}
 	}
-	return specs, nil
+	if g.DeriveSeeds {
+		sp.Seed = faults.DeriveSeed(g.Base.Seed, "point:"+key)
+		if sp.FaultProfile != "" && sp.FaultSeed == 0 {
+			sp.FaultSeed = faults.DeriveSeed(sp.Seed, "fault")
+		}
+	}
+	return sp
+}
+
+// gridSource walks the axis cross product odometer-style — innermost
+// axis (seeds) fastest — producing exactly the order the historical
+// nested-loop expansion did, one spec at a time.
+type gridSource struct {
+	g    Grid
+	axes [4][]choice
+	idx  [4]int
+	done bool
+}
+
+// Source returns a streaming SpecSource over the grid's cross product
+// in canonical expansion order. It validates the grid up front, so a
+// bad grid fails before the sweep starts rather than mid-stream.
+func (g Grid) Source() (SpecSource, error) {
+	axes, err := g.axes()
+	if err != nil {
+		return nil, err
+	}
+	return &gridSource{g: g, axes: axes}, nil
+}
+
+func (s *gridSource) Next() (Spec, bool, error) {
+	if s.done {
+		return Spec{}, false, nil
+	}
+	sp := s.g.point([4]choice{
+		s.axes[0][s.idx[0]], s.axes[1][s.idx[1]], s.axes[2][s.idx[2]], s.axes[3][s.idx[3]],
+	})
+	// Advance the odometer from the innermost axis outward.
+	for i := 3; ; i-- {
+		s.idx[i]++
+		if s.idx[i] < len(s.axes[i]) {
+			break
+		}
+		s.idx[i] = 0
+		if i == 0 {
+			s.done = true
+			break
+		}
+	}
+	return sp, true, nil
+}
+
+func (s *gridSource) Count() (int, bool) {
+	n := 1
+	for _, axis := range s.axes {
+		n *= len(axis)
+	}
+	return n, true
+}
+
+// Expand returns the grid's specs in canonical order, materialized.
+// It is a thin collect over Source; streaming callers should pull from
+// Source directly and skip the allocation.
+func (g Grid) Expand() ([]Spec, error) {
+	src, err := g.Source()
+	if err != nil {
+		return nil, err
+	}
+	return Collect(src)
 }

@@ -63,11 +63,17 @@ type RunStats struct {
 // counts, wall time, an EMA-smoothed completion rate, and the ETA it
 // implies. RunsPerSec and ETA are zero until the first finish makes
 // them estimable.
+//
+// Streaming sweeps may not know their size up front: when the spec
+// source has no count hint, TotalKnown is false, Total stays 0, and no
+// ETA is ever computed — renderers must show progress as a bare count
+// instead of a fraction.
 type SweepStats struct {
-	Total  int
-	Done   int
-	Failed int
-	Cached int
+	Total      int
+	TotalKnown bool
+	Done       int
+	Failed     int
+	Cached     int
 
 	Elapsed    time.Duration
 	RunsPerSec float64
@@ -97,8 +103,15 @@ type sweepState struct {
 	lastFinish time.Duration
 }
 
+// newSweepState starts the aggregate tracker; total < 0 means the
+// source gave no count hint (TotalKnown stays false, no ETA).
 func newSweepState(total int) *sweepState {
-	return &sweepState{start: time.Now(), stats: SweepStats{Total: total}}
+	st := &sweepState{start: time.Now()}
+	if total >= 0 {
+		st.stats.Total = total
+		st.stats.TotalKnown = true
+	}
+	return st
 }
 
 func (st *sweepState) sinceStart() time.Duration { return time.Since(st.start) }
@@ -129,10 +142,11 @@ func (r *Runner) emitProgress(st *sweepState, kind ProgressKind, run RunStats) {
 			}
 		}
 		st.lastFinish = now
-		if remaining := st.stats.Total - st.stats.Done; remaining > 0 && st.stats.RunsPerSec > 0 {
-			st.stats.ETA = time.Duration(float64(remaining) / st.stats.RunsPerSec * float64(time.Second))
-		} else {
-			st.stats.ETA = 0
+		st.stats.ETA = 0
+		if st.stats.TotalKnown {
+			if remaining := st.stats.Total - st.stats.Done; remaining > 0 && st.stats.RunsPerSec > 0 {
+				st.stats.ETA = time.Duration(float64(remaining) / st.stats.RunsPerSec * float64(time.Second))
+			}
 		}
 	}
 	ev := ProgressEvent{Kind: kind, Run: run, Sweep: st.stats}
@@ -234,7 +248,9 @@ func (p *SweepReporter) observe(ev ProgressEvent) {
 		}
 	}
 	if p.Reg != nil {
-		p.gTotal.Set(float64(ev.Sweep.Total))
+		if ev.Sweep.TotalKnown {
+			p.gTotal.Set(float64(ev.Sweep.Total))
+		}
 		if ev.Kind == RunFinished {
 			p.mDone.Inc()
 			if ev.Run.Err != "" {
@@ -257,7 +273,7 @@ func (p *SweepReporter) observe(ev ProgressEvent) {
 	}
 	if p.TTY != nil {
 		p.ttyDirty = true
-		final := ev.Sweep.Done == ev.Sweep.Total
+		final := ev.Sweep.TotalKnown && ev.Sweep.Done == ev.Sweep.Total
 		if final || time.Since(p.lastTTY) >= 100*time.Millisecond {
 			p.lastTTY = time.Now()
 			p.renderTTY(ev.Sweep)
@@ -297,15 +313,17 @@ type runEventLine struct {
 }
 
 // aggregateLine is the periodic/progress and sweep_summary schema.
+// Total and EtaS are pointers so an unknown-total stream omits them
+// entirely instead of emitting a misleading "total":0 / "eta_s":0.
 type aggregateLine struct {
 	Type       string      `json:"type"`
 	T          float64     `json:"t"`
 	Done       int         `json:"done"`
-	Total      int         `json:"total"`
+	Total      *int        `json:"total,omitempty"`
 	Failed     int         `json:"failed"`
 	Cached     int         `json:"cached"`
 	RunsPerSec float64     `json:"runs_per_sec"`
-	EtaS       float64     `json:"eta_s"`
+	EtaS       *float64    `json:"eta_s,omitempty"`
 	WallS      float64     `json:"wall_s,omitempty"`
 	Slowest    []slowEntry `json:"slowest,omitempty"`
 	Failures   []failEntry `json:"failures,omitempty"`
@@ -343,11 +361,16 @@ func (p *SweepReporter) writeRunLine(ev ProgressEvent) {
 }
 
 func (p *SweepReporter) writeAggregateLine(typ string, s SweepStats) {
-	p.encodeLine(aggregateLine{
+	line := aggregateLine{
 		Type: typ, T: s.Elapsed.Seconds(),
-		Done: s.Done, Total: s.Total, Failed: s.Failed, Cached: s.Cached,
-		RunsPerSec: s.RunsPerSec, EtaS: s.ETA.Seconds(),
-	})
+		Done: s.Done, Failed: s.Failed, Cached: s.Cached,
+		RunsPerSec: s.RunsPerSec,
+	}
+	if s.TotalKnown {
+		total, eta := s.Total, s.ETA.Seconds()
+		line.Total, line.EtaS = &total, &eta
+	}
+	p.encodeLine(line)
 }
 
 func (p *SweepReporter) encodeLine(v any) {
@@ -365,6 +388,13 @@ func (p *SweepReporter) encodeLine(v any) {
 }
 
 func (p *SweepReporter) renderTTY(s SweepStats) {
+	if !s.TotalKnown {
+		// No count hint: a bare done-count line, no fraction, no ETA.
+		fmt.Fprintf(p.TTY, "\rsweep %d done  ok %d  fail %d  cache %d  %.2f runs/s",
+			s.Done, s.Done-s.Failed, s.Failed, s.Cached, s.RunsPerSec)
+		p.ttyDirty = false
+		return
+	}
 	pct := 0.0
 	if s.Total > 0 {
 		pct = 100 * float64(s.Done) / float64(s.Total)
@@ -400,10 +430,14 @@ func (p *SweepReporter) Close() error {
 	if p.bw != nil {
 		line := aggregateLine{
 			Type: "sweep_summary", T: p.last.Elapsed.Seconds(),
-			Done: p.last.Done, Total: p.last.Total,
+			Done:   p.last.Done,
 			Failed: p.last.Failed, Cached: p.last.Cached,
-			RunsPerSec: p.last.RunsPerSec, EtaS: 0,
-			WallS: time.Since(p.wallStart).Seconds(),
+			RunsPerSec: p.last.RunsPerSec,
+			WallS:      time.Since(p.wallStart).Seconds(),
+		}
+		if p.last.TotalKnown {
+			total, eta := p.last.Total, 0.0
+			line.Total, line.EtaS = &total, &eta
 		}
 		for i := len(p.slowest) - 1; i >= 0; i-- {
 			r := p.slowest[i]
@@ -437,8 +471,13 @@ func (p *SweepReporter) Summarize(w io.Writer) {
 		// Close froze the reporter; reuse its wall measurement basis.
 		wall = s.Elapsed
 	}
-	fmt.Fprintf(w, "sweep: %d/%d done, %d failed, %d cached, %v wall (%.2f runs/s)\n",
-		s.Done, s.Total, s.Failed, s.Cached, wall.Round(time.Millisecond), s.RunsPerSec)
+	if s.TotalKnown {
+		fmt.Fprintf(w, "sweep: %d/%d done, %d failed, %d cached, %v wall (%.2f runs/s)\n",
+			s.Done, s.Total, s.Failed, s.Cached, wall.Round(time.Millisecond), s.RunsPerSec)
+	} else {
+		fmt.Fprintf(w, "sweep: %d done, %d failed, %d cached, %v wall (%.2f runs/s)\n",
+			s.Done, s.Failed, s.Cached, wall.Round(time.Millisecond), s.RunsPerSec)
+	}
 	if len(p.slowest) > 0 {
 		fmt.Fprintf(w, "slowest runs:\n")
 		for i := len(p.slowest) - 1; i >= 0; i-- {

@@ -323,6 +323,101 @@ func TestSweepReporterTTY(t *testing.T) {
 	}
 }
 
+// TestSweepReporterUnknownTotalTTY: a count-less source renders a
+// bare-count status line — no 0/0 fraction, no percentage, no ETA.
+func TestSweepReporterUnknownTotalTTY(t *testing.T) {
+	var tty bytes.Buffer
+	rep := &SweepReporter{TTY: &tty}
+	r := &Runner{Workers: 2, ProgressFunc: rep.Func()}
+	specs := []Spec{
+		{Experiment: "test-ok", Seed: 1},
+		{Experiment: "test-ok", Seed: 2},
+		{Experiment: "test-fail", Seed: 3},
+	}
+	if err := r.SweepStream(context.Background(), hideCount{SliceSource(specs)},
+		func(RunResult) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	rep.Close()
+	out := tty.String()
+	if !strings.Contains(out, "sweep 3 done") {
+		t.Errorf("count-only line missing:\n%q", out)
+	}
+	if !strings.Contains(out, "fail 1") {
+		t.Errorf("TTY line lacks failure count:\n%q", out)
+	}
+	for _, bogus := range []string{"/0", "0/", "%", "eta"} {
+		if strings.Contains(out, bogus) {
+			t.Errorf("unknown-total TTY line contains %q:\n%q", bogus, out)
+		}
+	}
+	var human bytes.Buffer
+	rep.Summarize(&human)
+	if strings.Contains(human.String(), "/0 done") {
+		t.Errorf("summary renders a bogus 0 total:\n%s", human.String())
+	}
+	if !strings.Contains(human.String(), "3 done, 1 failed") {
+		t.Errorf("summary lacks count-only header:\n%s", human.String())
+	}
+}
+
+// TestSweepReporterUnknownTotalJSONL: aggregate and summary lines from
+// a count-less source omit the total and eta_s keys entirely, while a
+// known-total stream keeps them.
+func TestSweepReporterUnknownTotalJSONL(t *testing.T) {
+	run := func(t *testing.T, src SpecSource) []map[string]any {
+		t.Helper()
+		var stream bytes.Buffer
+		rep := &SweepReporter{JSONL: &stream, AggregateEvery: 0}
+		r := &Runner{Workers: 2, ProgressFunc: rep.Func()}
+		if err := r.SweepStream(context.Background(), src, func(RunResult) error { return nil }); err != nil {
+			t.Fatal(err)
+		}
+		if err := rep.Close(); err != nil {
+			t.Fatal(err)
+		}
+		var aggs []map[string]any
+		sc := bufio.NewScanner(bytes.NewReader(stream.Bytes()))
+		for sc.Scan() {
+			var line map[string]any
+			if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+				t.Fatalf("bad JSONL line: %v", err)
+			}
+			if typ := line["type"]; typ == "progress" || typ == "sweep_summary" {
+				aggs = append(aggs, line)
+			}
+		}
+		if len(aggs) == 0 {
+			t.Fatal("no aggregate lines")
+		}
+		return aggs
+	}
+	specs := []Spec{
+		{Experiment: "test-ok", Seed: 1},
+		{Experiment: "test-ok", Seed: 2},
+	}
+
+	for _, line := range run(t, hideCount{SliceSource(specs)}) {
+		if _, has := line["total"]; has {
+			t.Errorf("unknown-total %s line carries total: %v", line["type"], line)
+		}
+		if _, has := line["eta_s"]; has {
+			t.Errorf("unknown-total %s line carries eta_s: %v", line["type"], line)
+		}
+		if _, has := line["done"]; !has {
+			t.Errorf("%s line lost its done count: %v", line["type"], line)
+		}
+	}
+	for _, line := range run(t, SliceSource(specs)) {
+		if total, has := line["total"]; !has || total != float64(len(specs)) {
+			t.Errorf("known-total %s line total = %v", line["type"], total)
+		}
+		if _, has := line["eta_s"]; !has {
+			t.Errorf("known-total %s line lost eta_s: %v", line["type"], line)
+		}
+	}
+}
+
 func TestSweepReporterSummarize(t *testing.T) {
 	var stream bytes.Buffer
 	rep := &SweepReporter{JSONL: &stream, SlowestK: 2}

@@ -118,39 +118,133 @@ func (r *Runner) Run(ctx context.Context, sp Spec) RunResult {
 // promptly (in-flight simulations finish — the event loop is not
 // interruptible), unstarted slots carry the context error, and Sweep
 // returns ctx.Err().
+//
+// Sweep is the materialized convenience over SweepStream; callers with
+// very large sweeps should stream a SpecSource through SweepStream
+// directly and never hold the spec or result lists in memory.
 func (r *Runner) Sweep(ctx context.Context, specs []Spec) ([]RunResult, error) {
-	results := make([]RunResult, len(specs))
-	st := newSweepState(len(specs))
-	jobs := make(chan int)
+	results := make([]RunResult, 0, len(specs))
+	err := r.SweepStream(ctx, SliceSource(specs), func(res RunResult) error {
+		results = append(results, res)
+		return nil
+	})
+	if err != nil {
+		// Yields stop at the cancellation point; the never-dispatched
+		// tail carries the context error, slot for slot.
+		for i := len(results); i < len(specs); i++ {
+			results = append(results, RunResult{Spec: specs[i], Hash: specs[i].Hash(), Err: err.Error()})
+		}
+	}
+	return results, err
+}
+
+// streamJob pairs a spec with the channel its result will arrive on.
+// The yield loop holds jobs in dispatch order, so results come back in
+// input order no matter which worker finishes first.
+type streamJob struct {
+	index int
+	spec  Spec
+	done  chan RunResult // buffered(1); receives exactly one result
+}
+
+// SweepStream executes every spec src yields across the worker pool,
+// delivering results through yield strictly in input order. At most
+// O(workers) specs exist in memory at once — the source is pulled only
+// as workers and the yield callback make room — so a 10⁶-spec census
+// streams at constant memory.
+//
+// Failing or panicking runs record their error in their RunResult and
+// do not stop the stream. A mid-stream source error stops dispatch;
+// every spec pulled before the error is still executed and yielded,
+// then SweepStream returns the source error. When ctx is cancelled,
+// no new specs are pulled, in-flight runs finish and are yielded, and
+// SweepStream returns ctx.Err(). A non-nil error from yield stops the
+// stream the same way and is returned. yield is called from
+// SweepStream's goroutine; it must not call SweepStream reentrantly.
+func (r *Runner) SweepStream(ctx context.Context, src SpecSource, yield func(RunResult) error) error {
+	total := -1
+	if n, known := src.Count(); known {
+		total = n
+	}
+	st := newSweepState(total)
+
+	sctx, stop := context.WithCancel(ctx)
+	defer stop()
+
+	workers := r.workers()
+	jobs := make(chan streamJob)
+	// order bounds the in-flight window: the dispatcher blocks here
+	// when the yield side lags, capping buffered specs at O(workers).
+	order := make(chan streamJob, workers)
+
 	var wg sync.WaitGroup
-	for w := 0; w < r.workers(); w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			for i := range jobs {
-				results[i] = r.runSwept(ctx, specs[i], i, worker, st)
+			for j := range jobs {
+				j.done <- r.runSwept(sctx, j.spec, j.index, worker, st)
 			}
 		}(w)
 	}
-dispatch:
-	for i := range specs {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		for i := range results {
-			if results[i].Hash == "" {
-				results[i] = RunResult{Spec: specs[i], Hash: specs[i].Hash(), Err: err.Error()}
+
+	// The dispatcher owns the source: Next is only ever called from
+	// this goroutine, so sources need no locking. srcErr is published
+	// before close(order) and read after the yield loop drains it.
+	var srcErr error
+	go func() {
+		defer close(order)
+		defer close(jobs)
+		for i := 0; ; i++ {
+			if sctx.Err() != nil {
+				return
+			}
+			sp, ok, err := src.Next()
+			if err != nil {
+				srcErr = err
+				return
+			}
+			if !ok {
+				return
+			}
+			j := streamJob{index: i, spec: sp, done: make(chan RunResult, 1)}
+			select {
+			case order <- j:
+			case <-sctx.Done():
+				return
+			}
+			select {
+			case jobs <- j:
+			case <-sctx.Done():
+				// Already promised to the yield loop but no worker
+				// will pick it up: fill the slot with the
+				// cancellation so the drain below cannot deadlock.
+				j.done <- RunResult{Spec: sp, Hash: sp.Hash(), Err: sctx.Err().Error()}
+				return
 			}
 		}
-		return results, err
+	}()
+
+	var yieldErr error
+	for j := range order {
+		res := <-j.done
+		if yieldErr != nil {
+			continue // draining after a failed yield
+		}
+		if err := yield(res); err != nil {
+			yieldErr = err
+			stop() // stop pulling; in-flight runs drain above
+		}
 	}
-	return results, nil
+	wg.Wait()
+	switch {
+	case yieldErr != nil:
+		return yieldErr
+	case ctx.Err() != nil:
+		return ctx.Err()
+	default:
+		return srcErr
+	}
 }
 
 // runSwept wraps runOne with the sweep-only concerns: progress

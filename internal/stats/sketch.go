@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"strings"
@@ -151,6 +152,72 @@ func (s *Sketch) Points(n int) [][2]float64 {
 		pts = append(pts, [2]float64{v, q})
 	}
 	return pts
+}
+
+// sketchJSON is the wire form of a Sketch. Counts are stored sparsely
+// as ascending [bin, count] pairs, so a mostly-empty sketch stays
+// small and the encoding is canonical: two sketches with the same
+// state always marshal to identical bytes, which is what lets census
+// partials embed sketches and still byte-diff across shardings.
+type sketchJSON struct {
+	Lo     float64     `json:"lo"`
+	Hi     float64     `json:"hi"`
+	Bins   int         `json:"bins"`
+	N      uint64      `json:"n"`
+	Min    float64     `json:"min"`
+	Max    float64     `json:"max"`
+	Counts [][2]uint64 `json:"counts,omitempty"`
+}
+
+// MarshalJSON encodes the sketch's full state deterministically.
+func (s *Sketch) MarshalJSON() ([]byte, error) {
+	w := sketchJSON{Lo: s.lo, Hi: s.hi, Bins: len(s.counts), N: s.n}
+	if s.n > 0 {
+		w.Min, w.Max = s.min, s.max
+	}
+	for i, c := range s.counts {
+		if c != 0 {
+			w.Counts = append(w.Counts, [2]uint64{uint64(i), c})
+		}
+	}
+	return json.Marshal(w)
+}
+
+// UnmarshalJSON restores a sketch, validating geometry and count
+// consistency so a corrupt partial fails loudly instead of merging
+// garbage.
+func (s *Sketch) UnmarshalJSON(b []byte) error {
+	var w sketchJSON
+	if err := json.Unmarshal(b, &w); err != nil {
+		return err
+	}
+	if !(w.Hi > w.Lo) || w.Bins < 1 {
+		return fmt.Errorf("stats: decoded sketch has invalid geometry [%g, %g] x %d", w.Lo, w.Hi, w.Bins)
+	}
+	counts := make([]uint64, w.Bins)
+	var sum uint64
+	prev := -1
+	for _, pair := range w.Counts {
+		bin := int(pair[0])
+		if bin <= prev || bin >= w.Bins {
+			return fmt.Errorf("stats: decoded sketch has bad bin index %d (bins %d)", bin, w.Bins)
+		}
+		prev = bin
+		counts[bin] = pair[1]
+		sum += pair[1]
+	}
+	if sum != w.N {
+		return fmt.Errorf("stats: decoded sketch counts sum to %d, header says %d", sum, w.N)
+	}
+	if w.N > 0 && (math.IsNaN(w.Min) || math.IsNaN(w.Max) || w.Min > w.Max) {
+		return fmt.Errorf("stats: decoded sketch has inconsistent extremes [%g, %g]", w.Min, w.Max)
+	}
+	s.lo, s.hi, s.counts, s.n = w.Lo, w.Hi, counts, w.N
+	s.min, s.max = 0, 0
+	if w.N > 0 {
+		s.min, s.max = w.Min, w.Max
+	}
+	return nil
 }
 
 // String renders a compact summary in the CDF summary's format, so

@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// The merge property suite: Sketch merging is the primitive every
+// sharded aggregation (mlab workers, census partials) leans on, so its
+// algebra is pinned here — empty is an identity, merge is commutative
+// and associative, and a merged sketch answers quantiles like the
+// sketch that saw the whole stream.
+
+const mergeBins = 128
+
+func sketchOf(t *testing.T, xs []float64) *Sketch {
+	t.Helper()
+	s := NewSketch(0, 100, mergeBins)
+	for _, x := range xs {
+		s.Add(x)
+	}
+	return s
+}
+
+// sketchBytes canonicalizes a sketch through its JSON encoding; equal
+// state iff equal bytes.
+func sketchBytes(t *testing.T, s *Sketch) []byte {
+	t.Helper()
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustMerge(t *testing.T, dst, src *Sketch) {
+	t.Helper()
+	if err := dst.Merge(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ramp returns n samples spread over [lo, hi).
+func ramp(lo, hi float64, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = lo + (hi-lo)*float64(i)/float64(n)
+	}
+	return xs
+}
+
+func TestSketchMergeEmptyIsIdentity(t *testing.T) {
+	data := ramp(5, 95, 1000)
+	s := sketchOf(t, data)
+	before := sketchBytes(t, s)
+
+	// s + empty leaves s untouched.
+	mustMerge(t, s, NewSketch(0, 100, mergeBins))
+	if !bytes.Equal(before, sketchBytes(t, s)) {
+		t.Fatal("merging an empty sketch changed the receiver")
+	}
+	// empty + s equals s.
+	e := NewSketch(0, 100, mergeBins)
+	mustMerge(t, e, s)
+	if !bytes.Equal(before, sketchBytes(t, e)) {
+		t.Fatal("empty.Merge(s) differs from s")
+	}
+	// empty + empty stays empty with untouched extremes.
+	e1, e2 := NewSketch(0, 100, mergeBins), NewSketch(0, 100, mergeBins)
+	mustMerge(t, e1, e2)
+	if e1.N() != 0 {
+		t.Fatalf("empty+empty has %d samples", e1.N())
+	}
+}
+
+func TestSketchMergeCommutative(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []float64
+	}{
+		{"disjoint", ramp(0, 40, 500), ramp(60, 100, 700)},
+		{"overlapping", ramp(10, 70, 600), ramp(30, 90, 400)},
+		{"one empty", ramp(0, 100, 300), nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ab := sketchOf(t, tc.a)
+			mustMerge(t, ab, sketchOf(t, tc.b))
+			ba := sketchOf(t, tc.b)
+			mustMerge(t, ba, sketchOf(t, tc.a))
+			if !bytes.Equal(sketchBytes(t, ab), sketchBytes(t, ba)) {
+				t.Fatal("a+b differs from b+a")
+			}
+		})
+	}
+}
+
+func TestSketchMergeAssociative(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b, c []float64
+	}{
+		{"disjoint", ramp(0, 30, 400), ramp(35, 65, 500), ramp(70, 100, 600)},
+		{"overlapping", ramp(0, 60, 400), ramp(20, 80, 500), ramp(40, 100, 600)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			left := sketchOf(t, tc.a) // (a+b)+c
+			mustMerge(t, left, sketchOf(t, tc.b))
+			mustMerge(t, left, sketchOf(t, tc.c))
+
+			bc := sketchOf(t, tc.b) // a+(b+c)
+			mustMerge(t, bc, sketchOf(t, tc.c))
+			right := sketchOf(t, tc.a)
+			mustMerge(t, right, bc)
+
+			if !bytes.Equal(sketchBytes(t, left), sketchBytes(t, right)) {
+				t.Fatal("(a+b)+c differs from a+(b+c)")
+			}
+		})
+	}
+}
+
+// TestSketchThreeWayMergeQuantiles: quantiles after a 3-way merge
+// match the single sketch that saw every sample, within one bin width
+// (the sketch's stated rank-error bound; identical partitioning means
+// they are in fact equal, which the byte compare above already pins —
+// this guards the quantile read path end to end).
+func TestSketchThreeWayMergeQuantiles(t *testing.T) {
+	parts := [][]float64{ramp(0, 50, 500), ramp(25, 75, 700), ramp(50, 100, 900)}
+	var all []float64
+	merged := NewSketch(0, 100, mergeBins)
+	for _, p := range parts {
+		all = append(all, p...)
+		mustMerge(t, merged, sketchOf(t, p))
+	}
+	whole := sketchOf(t, all)
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N %d, whole N %d", merged.N(), whole.N())
+	}
+	binWidth := 100.0 / mergeBins
+	for _, q := range []float64{0, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+		mv, err := merged.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wv, err := whole.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(mv-wv) > binWidth {
+			t.Errorf("q=%.2f: merged %.4f vs whole %.4f, diff beyond one bin (%.4f)", q, mv, wv, binWidth)
+		}
+	}
+}
+
+func TestSketchMergeRejectsGeometryMismatch(t *testing.T) {
+	a := NewSketch(0, 100, mergeBins)
+	for _, bad := range []*Sketch{
+		NewSketch(0, 100, mergeBins/2),
+		NewSketch(0, 50, mergeBins),
+		NewSketch(1, 100, mergeBins),
+	} {
+		if err := a.Merge(bad); err == nil {
+			t.Fatal("geometry mismatch accepted")
+		}
+	}
+}
+
+func TestSketchJSONRoundTrip(t *testing.T) {
+	s := sketchOf(t, ramp(3, 97, 1234))
+	s.Add(-5) // clamped into the edge bin, exact min retained
+	s.Add(250)
+	b := sketchBytes(t, s)
+
+	var back Sketch
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, sketchBytes(t, &back)) {
+		t.Fatal("round trip not byte-stable")
+	}
+	for _, q := range []float64{0, 0.5, 1} {
+		v1, _ := s.Quantile(q)
+		v2, _ := back.Quantile(q)
+		if v1 != v2 {
+			t.Fatalf("q=%g diverged after round trip: %g vs %g", q, v1, v2)
+		}
+	}
+	// An empty sketch round-trips too.
+	e := NewSketch(0, 1, 8)
+	eb := sketchBytes(t, e)
+	var eback Sketch
+	if err := json.Unmarshal(eb, &eback); err != nil {
+		t.Fatal(err)
+	}
+	if eback.N() != 0 {
+		t.Fatalf("empty sketch decoded with %d samples", eback.N())
+	}
+
+	// Corruption is rejected: counts/N mismatch, bad geometry, bad bins.
+	for _, bad := range []string{
+		`{"lo":0,"hi":1,"bins":4,"n":5,"min":0,"max":1,"counts":[[0,2]]}`,
+		`{"lo":1,"hi":1,"bins":4,"n":0,"min":0,"max":0}`,
+		`{"lo":0,"hi":1,"bins":0,"n":0,"min":0,"max":0}`,
+		`{"lo":0,"hi":1,"bins":4,"n":2,"min":0,"max":1,"counts":[[9,2]]}`,
+		`{"lo":0,"hi":1,"bins":4,"n":4,"min":0,"max":1,"counts":[[2,2],[1,2]]}`,
+	} {
+		var sk Sketch
+		if err := json.Unmarshal([]byte(bad), &sk); err == nil {
+			t.Errorf("corrupt sketch accepted: %s", bad)
+		}
+	}
+}

@@ -1,0 +1,35 @@
+package stats
+
+import "math"
+
+// Wilson returns the Wilson score interval for a binomial proportion:
+// the [lo, hi] confidence bounds on the true fraction after observing
+// successes out of n trials, at critical value z (1.96 for 95%). It is
+// the interval the census report puts on "what fraction of paths is
+// contention-dominated?" — unlike the normal approximation it behaves
+// sensibly near 0, near 1, and at small n (never escaping [0, 1]).
+//
+// n <= 0 returns the vacuous interval [0, 1]: no data, no constraint.
+func Wilson(successes, n int, z float64) (lo, hi float64) {
+	if n <= 0 {
+		return 0, 1
+	}
+	if z <= 0 {
+		z = 1.96
+	}
+	p := float64(successes) / float64(n)
+	nf := float64(n)
+	z2 := z * z
+	denom := 1 + z2/nf
+	center := (p + z2/(2*nf)) / denom
+	half := z / denom * math.Sqrt(p*(1-p)/nf+z2/(4*nf*nf))
+	lo = center - half
+	hi = center + half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi
+}
