@@ -1,0 +1,181 @@
+package main
+
+// ccac hunt drives the adversarial scenario search: a guided optimizer
+// over fault-profile + cross-traffic genomes, maximizing a chosen
+// pathology objective through the scenario runner.
+//
+//	ccac hunt <objective> [-budget N] [-pop N] [-mode ga|anneal]
+//	          [-refine FRAC] [-seed N] [-workers N | -seq] [-cache DIR]
+//	          [-rate BPS] [-rtt DUR] [-queue Q] [-buffer BDP] [-victim CCA]
+//	          [-random N] [-out DIR] [-corpus DIR] [-fuzz-seeds DIR]
+//	          [-progress] [-progress-jsonl FILE] [-json]
+//
+// The hunt is deterministic and replayable from its seed: any worker
+// count, cache-cold or cache-warm, produces a byte-identical result
+// record. -out writes the worst scenario's spec and golden trace;
+// -random runs an undirected baseline of N random genomes for
+// comparison; -corpus packages the best genome as a replayable corpus
+// entry; -fuzz-seeds additionally exports it as fuzz-target seeds.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/hunt"
+	"repro/internal/scenario"
+)
+
+func huntUsage(w io.Writer) {
+	fmt.Fprintln(w, "usage: ccac hunt <objective> [flags]")
+	fmt.Fprintln(w, "objectives:")
+	for _, o := range hunt.Objectives() {
+		fmt.Fprintf(w, "  %-14s %s\n", o.Name, o.Desc)
+	}
+}
+
+func cmdHunt(args []string) {
+	fs := flag.NewFlagSet("ccac hunt", flag.ExitOnError)
+	budget := fs.Int("budget", 200, "genome evaluation budget")
+	pop := fs.Int("pop", 24, "GA population size")
+	mode := fs.String("mode", "ga", "optimizer: ga or anneal")
+	refine := fs.Float64("refine", 0, "fraction of the budget spent annealing the GA's best")
+	seed := fs.Int64("seed", 1, "hunt model seed (the whole hunt derives from it)")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	seq := fs.Bool("seq", false, "run sequentially (one worker)")
+	cacheDir := fs.String("cache", "", "content-addressed result cache directory")
+	rate := fs.Float64("rate", 0, "bottleneck rate in bits/s (0 = 16 Mbit/s default)")
+	rtt := fs.Duration("rtt", 0, "base round-trip time (0 = 30ms default)")
+	queue := fs.String("queue", "", "bottleneck queue discipline (default droptail)")
+	buffer := fs.Float64("buffer", 0, "bottleneck buffer in BDPs (0 = 1)")
+	victim := fs.String("victim", "", "victim flow CCA for the victim-mode objectives (default reno)")
+	random := fs.Int("random", 0, "also evaluate N random genomes as an undirected baseline")
+	outDir := fs.String("out", "", "write the worst scenario's spec + golden trace under this directory")
+	corpusDir := fs.String("corpus", "", "package the best genome as a corpus entry under this directory")
+	fuzzSeeds := fs.String("fuzz-seeds", "", "also export the corpus entry as fuzz seeds under this repo root (needs -corpus)")
+	progress := fs.Bool("progress", false, "render a live sweep status line to stderr")
+	progressJSONL := fs.String("progress-jsonl", "", "stream sweep progress events as JSONL to this file")
+	asJSON := fs.Bool("json", false, "print the canonical hunt result record instead of the summary")
+	fs.Usage = func() {
+		huntUsage(fs.Output())
+		fs.PrintDefaults()
+	}
+	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+		huntUsage(os.Stderr)
+		os.Exit(2)
+	}
+	obj, err := hunt.LookupObjective(args[0])
+	fail(err)
+	fs.Parse(args[1:])
+
+	runner := &scenario.Runner{Workers: *workers}
+	if *seq {
+		runner.Workers = 1
+	}
+	if *cacheDir != "" {
+		runner.Cache, err = scenario.NewCache(*cacheDir)
+		fail(err)
+	}
+	rep := &scenario.SweepReporter{AggregateEvery: time.Second}
+	useReporter := false
+	if *progress {
+		rep.TTY = os.Stderr
+		useReporter = true
+	}
+	var progressF *os.File
+	if *progressJSONL != "" {
+		progressF, err = os.Create(*progressJSONL)
+		fail(err)
+		rep.JSONL = progressF
+		useReporter = true
+	}
+	if useReporter {
+		runner.ProgressFunc = rep.Func()
+	}
+
+	cfg := hunt.Config{
+		Objective: obj,
+		Params: hunt.Params{
+			RateBps:   *rate,
+			RTTMs:     float64(*rtt) / float64(time.Millisecond),
+			Queue:     *queue,
+			BufferBDP: *buffer,
+			Victim:    *victim,
+		},
+		Budget:     *budget,
+		Pop:        *pop,
+		Mode:       *mode,
+		RefineFrac: *refine,
+		Seed:       *seed,
+		Runner:     runner,
+	}
+	if !*asJSON {
+		cfg.Log = func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "ccac: "+format+"\n", a...)
+		}
+	}
+
+	ctx := signalContext()
+	start := time.Now()
+	res, err := hunt.Run(ctx, cfg)
+	fail(err)
+	if *random > 0 {
+		res.Random, err = hunt.RandomBaseline(ctx, cfg, *random)
+		fail(err)
+	}
+	elapsed := time.Since(start)
+	if useReporter {
+		fail(rep.Close())
+		if progressF != nil {
+			fail(progressF.Close())
+		}
+		rep.Summarize(os.Stderr)
+	}
+
+	if *outDir != "" {
+		specPath, tracePath, err := hunt.WriteArtifacts(ctx, *outDir, res)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "ccac: hunt artifacts:\n  %s\n  %s\n", specPath, tracePath)
+	}
+	if *corpusDir != "" {
+		name := fmt.Sprintf("%s-%s", res.Objective, res.BestHash[:12])
+		entry, err := hunt.NewEntry(ctx, runner, res, name, "")
+		fail(err)
+		path, err := hunt.SaveEntry(*corpusDir, entry)
+		fail(err)
+		fmt.Fprintf(os.Stderr, "ccac: hunt corpus entry: %s (score %.4f, %s)\n", path, entry.Score, entry.Class)
+		if *fuzzSeeds != "" {
+			paths, err := hunt.WriteFuzzSeeds(*fuzzSeeds, entry)
+			fail(err)
+			for _, p := range paths {
+				fmt.Fprintf(os.Stderr, "ccac: hunt fuzz seed: %s\n", p)
+			}
+		}
+	} else if *fuzzSeeds != "" {
+		fail(fmt.Errorf("hunt: -fuzz-seeds needs -corpus"))
+	}
+
+	if *asJSON {
+		b, err := scenario.CanonicalJSON(res)
+		fail(err)
+		fmt.Println(string(b))
+		return
+	}
+	fmt.Printf("hunt %s (%s, seed %d): best score %.4f after %d evaluations (%v)\n",
+		res.Objective, res.Mode, res.Seed, res.BestScore, res.Evaluations, elapsed.Round(time.Millisecond))
+	fmt.Printf("  worst spec %s\n", res.BestHash)
+	for _, g := range res.History {
+		fmt.Printf("  %-6s %3d  best %.4f  mean %.4f\n", g.Mode, g.Gen, g.Best, g.Mean)
+	}
+	if res.Random != nil {
+		verdict := "hunt wins"
+		if res.BestScore <= res.Random.Best {
+			verdict = "random wins"
+		}
+		fmt.Printf("  random baseline: best %.4f mean %.4f over %d samples (%s)\n",
+			res.Random.Best, res.Random.Mean, res.Random.N, verdict)
+	}
+}

@@ -40,7 +40,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -72,6 +74,8 @@ func main() {
 		cmdSweep(os.Args[2:])
 	case "census":
 		cmdCensus(os.Args[2:])
+	case "hunt":
+		cmdHunt(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage(os.Stdout)
 	default:
@@ -87,7 +91,8 @@ func usage(w io.Writer) {
 	fmt.Fprintln(w, "  ccac run <experiment> [flags]     run one experiment, print its table")
 	fmt.Fprintln(w, "  ccac sweep [flags] <grid.json|->  expand a grid and sweep it")
 	fmt.Fprintln(w, "  ccac census <gen|run|merge>       population-scale contention census")
-	fmt.Fprintln(w, "run 'ccac run -h', 'ccac sweep -h', or 'ccac census -h' for flags")
+	fmt.Fprintln(w, "  ccac hunt <objective> [flags]     adversarial scenario search")
+	fmt.Fprintln(w, "run 'ccac run -h', 'ccac sweep -h', 'ccac census -h', or 'ccac hunt -h' for flags")
 }
 
 func cmdList(w io.Writer) {
@@ -170,25 +175,43 @@ func specFlags(fs *flag.FlagSet) func(*scenario.Spec) {
 func cmdRun(args []string) {
 	fs := flag.NewFlagSet("ccac run", flag.ExitOnError)
 	apply := specFlags(fs)
+	specPath := fs.String("spec", "",
+		"replay a full spec JSON file ('-' for stdin) instead of experiment defaults; other flags still override")
 	asJSON := fs.Bool("json", false, "print the canonical result record instead of the table")
 	tracePath := fs.String("trace", "", "write a JSONL run log (manifest + events + summary) to this file")
 	traceSample := fs.Int("trace-sample", 32, "keep 1-in-N bulk events in the trace (control events always kept)")
 	metricsOut := fs.String("metrics-out", "", "write a final metrics snapshot to this file (.csv or .jsonl)")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(), "usage: ccac run <experiment> [flags]")
+		fmt.Fprintln(fs.Output(), "       ccac run -spec <spec.json|-> [flags]")
 		fmt.Fprintln(fs.Output(), "experiments: "+strings.Join(scenario.Names(), ", "))
 		fs.PrintDefaults()
 	}
-	if len(args) < 1 || strings.HasPrefix(args[0], "-") {
+	name := ""
+	rest := args
+	if len(args) >= 1 && !strings.HasPrefix(args[0], "-") {
+		name = args[0]
+		rest = args[1:]
+	}
+	fs.Parse(rest)
+
+	var sp scenario.Spec
+	if *specPath != "" {
+		sp = loadSpec(*specPath)
+		if name != "" && name != sp.Experiment {
+			fail(fmt.Errorf("run: experiment %q conflicts with spec file's %q", name, sp.Experiment))
+		}
+		name = sp.Experiment
+	}
+	if name == "" {
 		fs.Usage()
 		os.Exit(2)
 	}
-	name := args[0]
-	fs.Parse(args[1:])
-
 	exp, err := scenario.Lookup(name)
 	fail(err)
-	sp := exp.Defaults
+	if *specPath == "" {
+		sp = exp.Defaults
+	}
 	apply(&sp)
 
 	sc, finish, err := buildScope(name, sp, *tracePath, *traceSample, *metricsOut)
@@ -430,6 +453,27 @@ func writeSweepSummary(w io.Writer, specs []scenario.Spec, results []scenario.Ru
 	sort.Strings(exps)
 	fmt.Fprintf(w, "sweep: %d runs (%s), %d cached, %d failed, %v wall\n",
 		len(specs), strings.Join(exps, ", "), cached, failed, elapsed.Round(time.Millisecond))
+}
+
+// loadSpec reads a replayable spec file (a hunt artifact, a sweep
+// grid's expansion, or hand-written JSON). Unknown fields are errors:
+// a typo in a replay must not silently change the scenario.
+func loadSpec(path string) scenario.Spec {
+	var b []byte
+	var err error
+	if path == "-" {
+		b, err = io.ReadAll(os.Stdin)
+	} else {
+		b, err = os.ReadFile(path)
+	}
+	fail(err)
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var sp scenario.Spec
+	if err := dec.Decode(&sp); err != nil {
+		fail(fmt.Errorf("run: spec %s: %w", path, err))
+	}
+	return sp
 }
 
 // signalContext cancels on SIGINT/SIGTERM so a sweep stops dispatching

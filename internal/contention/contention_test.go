@@ -1,6 +1,7 @@
 package contention
 
 import (
+	"math"
 	"testing"
 	"time"
 
@@ -124,6 +125,52 @@ func TestScoreMetrics(t *testing.T) {
 	var zero Score
 	if zero.Precision() != 0 || zero.Recall() != 0 || zero.Accuracy() != 0 || zero.F1() != 0 {
 		t.Error("empty score should be all zeros")
+	}
+}
+
+func TestScoreZeroDenominators(t *testing.T) {
+	// Each metric's denominator can be zero independently of the
+	// others; every such case must return a finite 0, never NaN.
+	cases := []struct {
+		name                       string
+		s                          Score
+		precision, recall, f1, acc float64
+	}{
+		{"empty", Score{}, 0, 0, 0, 0},
+		// No positive predictions: precision undefined, recall fine.
+		{"all-fn", Score{FN: 4}, 0, 0, 0, 0},
+		// No positive truths: recall undefined, precision fine.
+		{"all-fp", Score{FP: 4}, 0, 0, 0, 0},
+		// Only correct negatives: precision and recall both undefined,
+		// so F1's p+r denominator is zero while accuracy is perfect.
+		{"all-tn", Score{TN: 4}, 0, 0, 0, 1},
+		// Only correct positives: everything defined and perfect.
+		{"all-tp", Score{TP: 4}, 1, 1, 1, 1},
+		// Mixed: precision defined, recall undefined.
+		{"fp-and-tn", Score{FP: 1, TN: 3}, 0, 0, 0, 0.75},
+		// Mixed: recall defined, precision undefined.
+		{"fn-and-tn", Score{FN: 1, TN: 3}, 0, 0, 0, 0.75},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := []struct {
+				metric  string
+				v, want float64
+			}{
+				{"precision", tc.s.Precision(), tc.precision},
+				{"recall", tc.s.Recall(), tc.recall},
+				{"f1", tc.s.F1(), tc.f1},
+				{"accuracy", tc.s.Accuracy(), tc.acc},
+			}
+			for _, g := range got {
+				if math.IsNaN(g.v) || math.IsInf(g.v, 0) {
+					t.Errorf("%s = %v, want finite", g.metric, g.v)
+				}
+				if g.v != g.want {
+					t.Errorf("%s = %v, want %v", g.metric, g.v, g.want)
+				}
+			}
+		})
 	}
 }
 

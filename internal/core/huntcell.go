@@ -1,0 +1,384 @@
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/cca"
+	"repro/internal/faults"
+	"repro/internal/nimbus"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/traffic"
+	"repro/internal/transport"
+)
+
+// HuntCellConfig parameterizes the adversarial-search cell: one main
+// flow — a victim bulk transfer, or in probe mode a Nimbus elasticity
+// probe — on a bottleneck whose impairments come from an *inline*
+// fault config (arbitrary, not just the named registry profiles,
+// including capacity oscillation) while a declarative cross-traffic
+// schedule takes phased turns against it. Every knob the hunt genome
+// encodes lands here, so a decoded genome is an ordinary, replayable
+// experiment config.
+type HuntCellConfig struct {
+	// VictimCCA names the main flow's controller (default "reno").
+	// Ignored in probe mode.
+	VictimCCA string
+	// Probe switches the main flow to a Nimbus elasticity probe whose
+	// per-phase verdicts are scored against the schedule's ground
+	// truth.
+	Probe bool
+	// Cross is the cross-traffic schedule; the cell's duration is the
+	// schedule's total length.
+	Cross []traffic.Phase
+	// RateBps is the bottleneck rate (default 16 Mbit/s).
+	RateBps float64
+	// OneWayDelay is the propagation delay (default 15ms -> 30ms RTT).
+	OneWayDelay time.Duration
+	// Queue selects the discipline (default droptail).
+	Queue QueueKind
+	// BufferBDP sizes the buffer (default 1).
+	BufferBDP float64
+	// WarmupFrac excludes the initial fraction from whole-run
+	// throughput averaging (default 0.15).
+	WarmupFrac float64
+	// Seed drives workload randomness (short-flow arrivals and sizes).
+	Seed int64
+	// Fault, when non-nil, imposes the inline impairment chain plus
+	// any rate oscillation; it takes precedence over FaultProfile.
+	Fault *faults.Config
+	// FaultProfile names a registered profile when Fault is nil.
+	FaultProfile string
+	// FaultSeed drives the fault injectors.
+	FaultSeed int64
+	// Obs, when non-nil, receives the run's trace events and metric
+	// registrations.
+	Obs *obs.Scope `json:"-"`
+}
+
+func (c HuntCellConfig) norm() HuntCellConfig {
+	if c.VictimCCA == "" {
+		c.VictimCCA = "reno"
+	}
+	if c.RateBps <= 0 {
+		c.RateBps = 16e6
+	}
+	if c.OneWayDelay <= 0 {
+		c.OneWayDelay = 15 * time.Millisecond
+	}
+	if c.Queue == "" {
+		c.Queue = QueueDropTail
+	}
+	if c.BufferBDP <= 0 {
+		c.BufferBDP = 1
+	}
+	if c.WarmupFrac <= 0 || c.WarmupFrac >= 1 {
+		c.WarmupFrac = 0.15
+	}
+	return c
+}
+
+// HuntCellPhase is one schedule phase's outcome.
+type HuntCellPhase struct {
+	Kind       string
+	Start, End time.Duration
+	// CrossTputBps is the phase workload's achieved throughput.
+	CrossTputBps float64
+	// MainTputBps is the main flow's throughput within the phase
+	// (after the settle margin).
+	MainTputBps float64
+
+	// Probe-mode fields: the estimator's verdict for the phase against
+	// the schedule's ground truth. Decided is false when no elasticity
+	// window landed inside the phase (too short to call).
+	TruthElastic bool
+	ProbeElastic bool
+	Decided      bool
+	Windows      int
+	MeanEta      float64
+}
+
+// HuntCellResult is the cell's outcome: whole-run victim metrics for
+// the harm/unfairness objectives and per-phase probe verdicts for the
+// misclassification/flip objectives.
+type HuntCellResult struct {
+	Config HuntCellConfig
+	Phases []HuntCellPhase
+
+	// MainTputBps is the main flow's post-warmup throughput;
+	// CrossTputBps the schedule's duration-weighted aggregate.
+	MainTputBps  float64
+	CrossTputBps float64
+	// FairShareBps is the half-link reference allocation.
+	FairShareBps float64
+	// Harm is Ware-style harm to the main flow vs the fair share.
+	Harm float64
+	// Jain is the fairness index over (main, cross) allocations.
+	Jain float64
+	// Util is the combined post-warmup link utilization.
+	Util float64
+
+	// Probe-mode aggregates: Decided counts phases with a verdict,
+	// Misclassified those whose verdict contradicts ground truth.
+	Decided       int
+	Misclassified int
+}
+
+// settleMargin is how much of a phase's start is excluded from verdict
+// and throughput windows: transitions leak the previous phase's queue.
+func settleMargin(phase time.Duration) time.Duration {
+	s := 3 * time.Second
+	if max := phase / 3; s > max {
+		s = max
+	}
+	return s
+}
+
+// RunHuntCell executes the cell.
+func RunHuntCell(cfg HuntCellConfig) (*HuntCellResult, error) {
+	cfg = cfg.norm()
+	cfg.Obs = fallbackScope(cfg.Obs)
+	if err := traffic.ValidateSchedule(cfg.Cross); err != nil {
+		return nil, fmt.Errorf("core: huntcell: %w", err)
+	}
+	total := traffic.ScheduleDuration(cfg.Cross)
+
+	spec := LinkSpec{
+		RateBps:     cfg.RateBps,
+		OneWayDelay: cfg.OneWayDelay,
+		Queue:       cfg.Queue,
+		BufferBDP:   cfg.BufferBDP,
+		FaultSeed:   cfg.FaultSeed,
+		Obs:         cfg.Obs,
+	}
+	var rateFn func(time.Duration) float64
+	switch {
+	case cfg.Fault != nil:
+		if err := cfg.Fault.Validate(); err != nil {
+			return nil, fmt.Errorf("core: huntcell: %w", err)
+		}
+		if !cfg.Fault.IsZero() {
+			p := cfg.Fault.Profile()
+			spec.Faults = &p
+			rateFn = cfg.Fault.RateFunc(cfg.RateBps)
+		}
+	case cfg.FaultProfile != "":
+		p, err := faults.Lookup(cfg.FaultProfile)
+		if err != nil {
+			return nil, fmt.Errorf("core: huntcell: %w", err)
+		}
+		spec.Faults = &p
+	}
+
+	d := NewDumbbell(spec)
+	if rateFn != nil {
+		// Drive the capacity oscillation at ~32 samples per period,
+		// clamped so tiny periods stay cheap and huge ones stay smooth.
+		interval := time.Duration(cfg.Fault.OscPeriodS * float64(time.Second) / 32)
+		if interval < 5*time.Millisecond {
+			interval = 5 * time.Millisecond
+		}
+		if interval > 100*time.Millisecond {
+			interval = 100 * time.Millisecond
+		}
+		sim.DriveRate(d.Eng, d.Link, interval, rateFn)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	var probeCC *nimbus.CCA
+	var main *transport.Flow
+	if cfg.Probe {
+		probeCC = nimbus.NewCCA(nimbus.Config{Mu: cfg.RateBps, PulseFreq: 2})
+		main = d.AddBulk(1, 1, probeCC)
+	} else {
+		cc, err := cca.New(cfg.VictimCCA)
+		if err != nil {
+			return nil, fmt.Errorf("core: huntcell: victim: %w", err)
+		}
+		main = d.AddBulk(1, 1, cc)
+	}
+
+	type phaseBounds struct {
+		kind       string
+		start, end time.Duration
+		cross      func(from, to time.Duration) float64
+	}
+	var phases []phaseBounds
+	var at time.Duration
+	for i, ph := range cfg.Cross {
+		start, end := at, at+ph.Duration()
+		at = end
+		pb := phaseBounds{kind: ph.Kind, start: start, end: end}
+		switch kind := ph.Kind; kind {
+		case "idle":
+			pb.cross = func(from, to time.Duration) float64 { return 0 }
+		case "video":
+			var v *traffic.Video
+			d.Eng.ScheduleAt(start, func() {
+				v = traffic.NewVideo(d.Eng, d.FlowConfig(100+i, 1, cca.NewCubicCC()), traffic.VideoConfig{})
+			})
+			d.Eng.ScheduleAt(end, func() {
+				if v != nil {
+					v.Stop()
+					v.Flow.Sender.SetBacklogged(false)
+				}
+			})
+			pb.cross = func(from, to time.Duration) float64 {
+				if v == nil {
+					return 0
+				}
+				return v.Flow.Throughput(from, to)
+			}
+		case "short":
+			var g *traffic.ShortFlows
+			dur := end - start
+			d.Eng.ScheduleAt(start, func() {
+				g = traffic.NewShortFlows(d.Eng, traffic.ShortFlowsConfig{
+					ArrivalRate: 6,
+					Path:        d.FlowConfig(0, 0, nil).Path,
+					ReturnDelay: d.Spec.OneWayDelay,
+					UserID:      1,
+					NewCC:       func() transport.CCA { return cca.NewRenoCC() },
+					BaseFlowID:  1000 + 1000*i,
+					Rand:        rng,
+				})
+			})
+			d.Eng.ScheduleAt(end, func() {
+				if g != nil {
+					g.Stop()
+				}
+			})
+			gp := &g
+			pb.cross = func(from, to time.Duration) float64 {
+				if *gp == nil {
+					return 0
+				}
+				return float64((*gp).TotalBytes) * 8 / dur.Seconds()
+			}
+		case "cbr":
+			var f *transport.Flow
+			d.Eng.ScheduleAt(start, func() {
+				fc := d.FlowConfig(100+i, 1, cca.NewCBR(0.4*cfg.RateBps))
+				fc.Backlogged = true
+				f = transport.NewFlow(d.Eng, fc)
+				f.Start()
+			})
+			d.Eng.ScheduleAt(end, func() {
+				if f != nil {
+					f.Sender.SetBacklogged(false)
+				}
+			})
+			pb.cross = func(from, to time.Duration) float64 {
+				if f == nil {
+					return 0
+				}
+				return f.Throughput(from, to)
+			}
+		default: // a CCA-driven backlogged flow
+			cc, err := cca.New(kind)
+			if err != nil {
+				return nil, fmt.Errorf("core: huntcell phase %q: %w", kind, err)
+			}
+			var f *transport.Flow
+			d.Eng.ScheduleAt(start, func() {
+				fc := d.FlowConfig(100+i, 1, cc)
+				fc.Backlogged = true
+				f = transport.NewFlow(d.Eng, fc)
+				f.Start()
+			})
+			d.Eng.ScheduleAt(end, func() {
+				if f != nil {
+					f.Sender.SetBacklogged(false)
+				}
+			})
+			pb.cross = func(from, to time.Duration) float64 {
+				if f == nil {
+					return 0
+				}
+				return f.Throughput(from, to)
+			}
+		}
+		phases = append(phases, pb)
+	}
+
+	d.Run(total)
+
+	res := &HuntCellResult{Config: cfg, FairShareBps: cfg.RateBps / 2}
+	var crossWeighted float64
+	for _, pb := range phases {
+		settle := settleMargin(pb.end - pb.start)
+		ph := HuntCellPhase{
+			Kind: pb.kind, Start: pb.start, End: pb.end,
+			CrossTputBps: pb.cross(pb.start+settle, pb.end),
+			MainTputBps:  main.Throughput(pb.start+settle, pb.end),
+			TruthElastic: traffic.ElasticKind(pb.kind),
+		}
+		if cfg.Probe {
+			etas := probeCC.Est.Elasticity.Window(pb.start+settle, pb.end)
+			ph.Windows = len(etas)
+			if len(etas) > 0 {
+				ph.Decided = true
+				ph.MeanEta = stats.Mean(etas)
+				elastic := 0
+				for _, e := range etas {
+					if e >= probeCC.Est.Config().EtaThreshold {
+						elastic++
+					}
+				}
+				ph.ProbeElastic = elastic*2 > len(etas)
+				res.Decided++
+				if ph.ProbeElastic != ph.TruthElastic {
+					res.Misclassified++
+				}
+			}
+		}
+		crossWeighted += ph.CrossTputBps * (pb.end - pb.start).Seconds()
+		res.Phases = append(res.Phases, ph)
+	}
+
+	warmup := time.Duration(cfg.WarmupFrac * float64(total))
+	res.MainTputBps = main.Throughput(warmup, total)
+	res.CrossTputBps = crossWeighted / total.Seconds()
+	res.Harm = stats.Harm(res.FairShareBps, res.MainTputBps)
+	res.Jain = stats.JainIndex([]float64{res.MainTputBps, res.CrossTputBps})
+	res.Util = (res.MainTputBps + res.CrossTputBps) / cfg.RateBps
+	return res, nil
+}
+
+// WriteTable renders the cell.
+func (r *HuntCellResult) WriteTable(w io.Writer) {
+	c := r.Config
+	mode := "victim=" + c.VictimCCA
+	if c.Probe {
+		mode = "probe=nimbus"
+	}
+	fmt.Fprintf(w, "huntcell: %s on a %s link (%v RTT), queue=%s\n",
+		mode, FmtBps(c.RateBps), 2*c.OneWayDelay, string(c.Queue))
+	fmt.Fprintf(w, "%-8s %8s %8s %12s %12s", "phase", "start", "end", "cross-tput", "main-tput")
+	if c.Probe {
+		fmt.Fprintf(w, " %7s %9s %8s", "truth", "verdict", "mean-eta")
+	}
+	fmt.Fprintln(w)
+	for _, p := range r.Phases {
+		fmt.Fprintf(w, "%-8s %8v %8v %12s %12s",
+			p.Kind, p.Start, p.End, FmtBps(p.CrossTputBps), FmtBps(p.MainTputBps))
+		if c.Probe {
+			verdict := fmt.Sprintf("%v", p.ProbeElastic)
+			if !p.Decided {
+				verdict = "-"
+			}
+			fmt.Fprintf(w, " %7v %9s %8.3f", p.TruthElastic, verdict, p.MeanEta)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "main %s  cross %s  harm %.3f  jain %.3f  util %.3f",
+		FmtBps(r.MainTputBps), FmtBps(r.CrossTputBps), r.Harm, r.Jain, r.Util)
+	if c.Probe {
+		fmt.Fprintf(w, "  misclassified %d/%d", r.Misclassified, r.Decided)
+	}
+	fmt.Fprintln(w)
+}

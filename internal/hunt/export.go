@@ -1,0 +1,142 @@
+package hunt
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// This file exports discovered pathologies as seed inputs for the
+// repo's two fuzz targets. A hunt genome describes a hostile
+// environment in scenario terms; these translations re-express its
+// stress pattern in each fuzzer's op-tape vocabulary — outages become
+// timeout ops and cancellations, burst loss becomes loss-op runs,
+// oscillation modulates the time stretch — so the coverage the search
+// paid for keeps working from inside `go test`'s seed corpus.
+
+// FuzzSeedCCA renders the genome as a FuzzCCAAck tape: (opcode, a, b)
+// byte triples driving every registered CCA through the genome's loss,
+// outage, and timing pattern. Pure function of the genome.
+func FuzzSeedCCA(g Genome) []byte {
+	const steps = 48
+	dur := g.Duration()
+	if dur <= 0 {
+		return nil
+	}
+	f := g.Fault
+	// Per-step loss pressure from the i.i.d. and burst-loss knobs: how
+	// many of the tape's steps turn into loss ops.
+	lossDuty := f.LossProb
+	if f.GE != nil && f.GE.PGoodBad+f.GE.PBadGood > 0 {
+		lossDuty += f.GE.LossBad * f.GE.PGoodBad / (f.GE.PGoodBad + f.GE.PBadGood)
+	}
+	lossEvery := 0
+	if lossDuty > 0 {
+		lossEvery = int(math.Max(2, math.Min(16, 0.08/lossDuty)))
+	}
+
+	out := make([]byte, 0, steps*3)
+	for i := 0; i < steps; i++ {
+		t := dur * float64(i) / steps
+		// Time stretch follows the capacity oscillation when present.
+		a := byte(8)
+		if f.HasOscillation() {
+			x := 2 * math.Pi * (t/f.OscPeriodS + f.OscPhase)
+			a = byte(8 + 6*f.OscAmp*(1+math.Sin(x)))
+		}
+		// RTT byte carries the jitter and reorder-delay pressure.
+		b := byte(30 + f.JitterMs + f.ReorderDelayMs/2)
+
+		inOutage := false
+		for _, w := range f.Outages {
+			if t >= w.StartS && t < w.EndS {
+				inOutage = true
+				break
+			}
+		}
+		switch {
+		case inOutage:
+			out = append(out, 2, a, 0) // timeout: the link went dark
+		case lossEvery > 0 && i%lossEvery == lossEvery-1:
+			out = append(out, 1, a, b) // loss
+		default:
+			out = append(out, 0, a, b) // ack
+		}
+	}
+	return out
+}
+
+// FuzzSeedEngine renders the genome as a FuzzEngineSchedule tape:
+// (opcode, arg) byte pairs. Phases become schedule/run interleavings,
+// outages become cancellations of pending work, oscillation seasons
+// the delays. Pure function of the genome.
+func FuzzSeedEngine(g Genome) []byte {
+	dur := g.Duration()
+	if dur <= 0 {
+		return nil
+	}
+	f := g.Fault
+	out := make([]byte, 0, 80)
+	for i, ph := range g.Cross {
+		// A burst of relative schedules whose delays sample the phase.
+		n := 3 + i%3
+		for j := 0; j < n; j++ {
+			delay := ph.DurS * float64(j+1) / float64(n+1) * 10
+			if f.HasOscillation() {
+				x := 2 * math.Pi * (float64(j)/float64(n) + f.OscPhase)
+				delay *= 1 + f.OscAmp*math.Sin(x)
+			}
+			out = append(out, 0, byte(math.Max(0, math.Min(255, delay))))
+		}
+		// Advance through the phase.
+		out = append(out, 4, byte(math.Min(255, ph.DurS*20)))
+	}
+	// Outages cancel pending handles mid-flight.
+	for _, w := range f.Outages {
+		out = append(out, 2, byte(math.Min(255, w.StartS*10)))
+	}
+	// Drain the tail: steps, then a packet delivery round.
+	out = append(out, 3, 0, 5, 1, 3, 0)
+	return out
+}
+
+// fuzzSeedFile is the `go test fuzz v1` single-[]byte corpus format.
+func fuzzSeedFile(data []byte) []byte {
+	return []byte("go test fuzz v1\n[]byte(" + strconv.Quote(string(data)) + ")\n")
+}
+
+// FuzzTargets maps each fuzz target to its corpus directory (relative
+// to the repo root) and genome translation.
+var FuzzTargets = []struct {
+	Target string
+	Dir    string
+	Render func(Genome) []byte
+}{
+	{"FuzzCCAAck", "internal/cca/testdata/fuzz/FuzzCCAAck", FuzzSeedCCA},
+	{"FuzzEngineSchedule", "internal/sim/testdata/fuzz/FuzzEngineSchedule", FuzzSeedEngine},
+}
+
+// WriteFuzzSeeds renders a corpus entry into both fuzz targets' seed
+// corpora under repoRoot, named hunt-<entry name>, and returns the
+// paths written.
+func WriteFuzzSeeds(repoRoot string, e CorpusEntry) ([]string, error) {
+	var paths []string
+	for _, t := range FuzzTargets {
+		data := t.Render(e.Genome)
+		if len(data) == 0 {
+			continue
+		}
+		dir := filepath.Join(repoRoot, filepath.FromSlash(t.Dir))
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("hunt: fuzz seeds: %w", err)
+		}
+		path := filepath.Join(dir, "hunt-"+e.Name)
+		if err := os.WriteFile(path, fuzzSeedFile(data), 0o644); err != nil {
+			return nil, fmt.Errorf("hunt: fuzz seeds: %w", err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

@@ -1,0 +1,101 @@
+package hunt
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// fuzzGenome is a genome exercising every translation path: loss, GE,
+// outages, oscillation, jitter, and a multi-phase schedule.
+func fuzzGenome(t *testing.T) Genome {
+	t.Helper()
+	b := VictimBounds()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		g := RandomGenome(rng, b)
+		if g.Fault.LossProb > 0 && g.Fault.GE != nil && len(g.Fault.Outages) > 0 &&
+			g.Fault.HasOscillation() && len(g.Cross) >= 2 {
+			return g
+		}
+	}
+	t.Fatal("no fully-loaded genome found")
+	return Genome{}
+}
+
+func TestFuzzSeedsDeterministic(t *testing.T) {
+	g := fuzzGenome(t)
+	for _, target := range FuzzTargets {
+		a, b := target.Render(g), target.Render(g)
+		if len(a) == 0 {
+			t.Errorf("%s: empty tape for a loaded genome", target.Target)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: render not deterministic", target.Target)
+		}
+	}
+	// A zero genome has no schedule, hence no tape.
+	for _, target := range FuzzTargets {
+		if got := target.Render(Genome{}); got != nil {
+			t.Errorf("%s: zero genome rendered %d bytes, want none", target.Target, len(got))
+		}
+	}
+}
+
+// TestFuzzSeedFileParseable pins the `go test fuzz v1` encoding: the
+// written file must round-trip back to the tape bytes through the
+// same quoted-literal format the fuzzer parses.
+func TestFuzzSeedFileParseable(t *testing.T) {
+	g := fuzzGenome(t)
+	for _, target := range FuzzTargets {
+		data := target.Render(g)
+		file := string(fuzzSeedFile(data))
+		lines := strings.Split(file, "\n")
+		if len(lines) != 3 || lines[2] != "" {
+			t.Fatalf("%s: want header + literal + newline, got %q", target.Target, file)
+		}
+		if lines[0] != "go test fuzz v1" {
+			t.Errorf("%s: bad header %q", target.Target, lines[0])
+		}
+		lit := lines[1]
+		if !strings.HasPrefix(lit, "[]byte(") || !strings.HasSuffix(lit, ")") {
+			t.Fatalf("%s: bad literal %q", target.Target, lit)
+		}
+		unquoted, err := strconv.Unquote(lit[len("[]byte(") : len(lit)-1])
+		if err != nil {
+			t.Fatalf("%s: unquote: %v", target.Target, err)
+		}
+		if !bytes.Equal([]byte(unquoted), data) {
+			t.Errorf("%s: literal does not round-trip to the tape", target.Target)
+		}
+	}
+}
+
+func TestWriteFuzzSeeds(t *testing.T) {
+	root := t.TempDir()
+	e := CorpusEntry{Name: "test-entry", Genome: fuzzGenome(t)}
+	paths, err := WriteFuzzSeeds(root, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != len(FuzzTargets) {
+		t.Fatalf("wrote %d seeds, want %d", len(paths), len(FuzzTargets))
+	}
+	for i, target := range FuzzTargets {
+		want := filepath.Join(root, filepath.FromSlash(target.Dir), "hunt-test-entry")
+		if paths[i] != want {
+			t.Errorf("path = %s, want %s", paths[i], want)
+		}
+		b, err := os.ReadFile(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.HasPrefix(b, []byte("go test fuzz v1\n")) {
+			t.Errorf("%s: missing corpus header", want)
+		}
+	}
+}

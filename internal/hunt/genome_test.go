@@ -1,0 +1,180 @@
+package hunt
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// allBounds are the two shipped search spaces; every property below
+// must hold in both.
+func allBounds() map[string]Bounds {
+	return map[string]Bounds{
+		"victim": VictimBounds(),
+		"probe":  ProbeBounds(),
+	}
+}
+
+func testParams() Params {
+	return Params{Seed: 7, FaultSeed: 11}
+}
+
+// canonJSON is a genome's canonical byte representation for equality
+// checks.
+func canonJSON(t *testing.T, g Genome) []byte {
+	t.Helper()
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+func TestRandomGenomeAlwaysValid(t *testing.T) {
+	for name, b := range allBounds() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 200; seed++ {
+				g := RandomGenome(rand.New(rand.NewSource(seed)), b)
+				if err := g.Validate(b); err != nil {
+					t.Fatalf("seed %d: random genome invalid: %v\n%s", seed, err, canonJSON(t, g))
+				}
+			}
+		})
+	}
+}
+
+func TestMutateChainsStayValid(t *testing.T) {
+	for name, b := range allBounds() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 40; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				g := RandomGenome(rng, b)
+				// Long chains reach the corners of the space where clamp
+				// and budget-trim interactions live.
+				for step := 0; step < 25; step++ {
+					g = g.Mutate(rng, b)
+					if err := g.Validate(b); err != nil {
+						t.Fatalf("seed %d step %d: mutant invalid: %v\n%s",
+							seed, step, err, canonJSON(t, g))
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCrossoverStaysValid(t *testing.T) {
+	for name, b := range allBounds() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 100; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				p1 := RandomGenome(rng, b)
+				p2 := RandomGenome(rng, b)
+				child := Crossover(p1, p2, rng, b)
+				if err := child.Validate(b); err != nil {
+					t.Fatalf("seed %d: child invalid: %v\n%s", seed, err, canonJSON(t, child))
+				}
+			}
+		})
+	}
+}
+
+func TestCanonicalIdempotent(t *testing.T) {
+	for name, b := range allBounds() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 100; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				g := RandomGenome(rng, b).Mutate(rng, b)
+				once := canonJSON(t, g.Canonical(b))
+				twice := canonJSON(t, g.Canonical(b).Canonical(b))
+				if !bytes.Equal(once, twice) {
+					t.Fatalf("seed %d: canonicalization not idempotent:\n%s\n%s", seed, once, twice)
+				}
+			}
+		})
+	}
+}
+
+// TestGenomeJSONRoundTrip pins the replayability contract: a genome
+// survives an encode/decode cycle byte-identically, and its decoded
+// spec hash — the cache key and corpus anchor — is stable across the
+// trip.
+func TestGenomeJSONRoundTrip(t *testing.T) {
+	p := testParams()
+	for name, b := range allBounds() {
+		t.Run(name, func(t *testing.T) {
+			for seed := int64(0); seed < 100; seed++ {
+				g := RandomGenome(rand.New(rand.NewSource(seed)), b)
+				enc := canonJSON(t, g)
+				var back Genome
+				if err := json.Unmarshal(enc, &back); err != nil {
+					t.Fatalf("seed %d: unmarshal: %v", seed, err)
+				}
+				if re := canonJSON(t, back); !bytes.Equal(enc, re) {
+					t.Fatalf("seed %d: re-encode drifted:\n%s\n%s", seed, enc, re)
+				}
+				if err := back.Validate(b); err != nil {
+					t.Fatalf("seed %d: round-tripped genome invalid: %v", seed, err)
+				}
+				h1, h2 := g.Decode(p).Hash(), back.Decode(p).Hash()
+				if h1 != h2 {
+					t.Fatalf("seed %d: spec hash drifted across round trip: %s != %s", seed, h1, h2)
+				}
+			}
+		})
+	}
+}
+
+func TestDecodeDeterministic(t *testing.T) {
+	b := VictimBounds()
+	p := testParams()
+	for seed := int64(0); seed < 50; seed++ {
+		g := RandomGenome(rand.New(rand.NewSource(seed)), b)
+		s1, err1 := json.Marshal(g.Decode(p))
+		s2, err2 := json.Marshal(g.Decode(p))
+		if err1 != nil || err2 != nil {
+			t.Fatalf("marshal: %v %v", err1, err2)
+		}
+		if !bytes.Equal(s1, s2) {
+			t.Fatalf("seed %d: decode not deterministic:\n%s\n%s", seed, s1, s2)
+		}
+	}
+}
+
+// TestDecodeIndependentGenomes pins that Decode deep-copies: mutating
+// the decoded spec's slices must not write through to the genome.
+func TestDecodeIndependentGenomes(t *testing.T) {
+	b := VictimBounds()
+	rng := rand.New(rand.NewSource(3))
+	var g Genome
+	// Find a genome with outages so the fault deep-copy is exercised.
+	for g.Fault.GE == nil || len(g.Fault.Outages) == 0 || len(g.Cross) == 0 {
+		g = RandomGenome(rng, b)
+	}
+	before := canonJSON(t, g)
+	sp := g.Decode(testParams())
+	sp.Cross[0].DurS += 1000
+	sp.Fault.Outages[0].StartS += 1000
+	sp.Fault.GE.LossBad = 0
+	if after := canonJSON(t, g); !bytes.Equal(before, after) {
+		t.Fatalf("decoded spec aliases genome storage:\n%s\n%s", before, after)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	b := VictimBounds()
+	rng := rand.New(rand.NewSource(3))
+	var g Genome
+	for g.Fault.GE == nil || len(g.Fault.Outages) == 0 || len(g.Cross) == 0 {
+		g = RandomGenome(rng, b)
+	}
+	before := canonJSON(t, g)
+	c := g.Clone()
+	c.Cross[0].DurS += 1000
+	c.Fault.Outages[0].StartS += 1000
+	c.Fault.GE.LossBad = 0
+	if after := canonJSON(t, g); !bytes.Equal(before, after) {
+		t.Fatalf("clone aliases original storage:\n%s\n%s", before, after)
+	}
+}

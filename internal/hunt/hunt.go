@@ -1,0 +1,438 @@
+package hunt
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/faults"
+	"repro/internal/scenario"
+)
+
+// Config parameterizes one hunt.
+type Config struct {
+	// Objective is the fitness function (see LookupObjective).
+	Objective Objective
+	// Params fixes the link, main flow, and evaluation seeds. Zero
+	// Seed/FaultSeed are derived from Seed below so a hunt is fully
+	// specified by (objective, seed, budget, pop, mode).
+	Params Params
+	// Bounds confines the genome space (zero value: the objective's
+	// DefaultBounds).
+	Bounds Bounds
+	// Budget caps genome evaluations (default 200). A twin objective
+	// still counts one evaluation per genome; its second, fault-
+	// stripped run rides the same evaluation.
+	Budget int
+	// Pop is the GA population size (default 24, min 4).
+	Pop int
+	// Elite is how many top genomes survive unchanged (default 2).
+	Elite int
+	// CrossoverP is the crossover probability (default 0.7).
+	CrossoverP float64
+	// TournamentK is the selection tournament size (default 3).
+	TournamentK int
+	// Immigrants is how many fresh random genomes join each bred
+	// generation (default Pop/4, min 1). Immigration keeps the GA
+	// exploring: its sample pool stays a superset of what undirected
+	// random sampling would draw, with selection pressure on top, so
+	// the guided search cannot converge below the blind baseline.
+	Immigrants int
+	// Mode selects the optimizer: "ga" (default) or "anneal".
+	Mode string
+	// RefineFrac, in GA mode, reserves this fraction of the budget for
+	// a simulated-annealing refinement of the GA's best (default 0).
+	RefineFrac float64
+	// Seed is the hunt's model seed: every random draw anywhere in the
+	// hunt derives from it via faults.DeriveSeed.
+	Seed int64
+	// Runner executes evaluations (workers, cache, progress are the
+	// caller's choice). Nil gets a zero-value sequential runner.
+	Runner *scenario.Runner
+	// Log, when non-nil, receives one-line progress narration.
+	Log func(format string, args ...any)
+}
+
+func (c Config) norm() Config {
+	if c.Budget <= 0 {
+		c.Budget = 200
+	}
+	if c.Pop <= 0 {
+		c.Pop = 24
+	}
+	if c.Pop < 4 {
+		c.Pop = 4
+	}
+	if c.Elite <= 0 {
+		c.Elite = 2
+	}
+	if c.Elite > c.Pop/2 {
+		c.Elite = c.Pop / 2
+	}
+	if c.CrossoverP <= 0 {
+		c.CrossoverP = 0.7
+	}
+	if c.TournamentK <= 0 {
+		c.TournamentK = 3
+	}
+	if c.Immigrants <= 0 {
+		c.Immigrants = c.Pop / 4
+		if c.Immigrants < 1 {
+			c.Immigrants = 1
+		}
+	}
+	if c.Mode == "" {
+		c.Mode = "ga"
+	}
+	if c.Bounds == (Bounds{}) {
+		c.Bounds = c.Objective.DefaultBounds()
+	}
+	if c.Runner == nil {
+		c.Runner = &scenario.Runner{}
+	}
+	if c.Params.Seed == 0 {
+		c.Params.Seed = faults.DeriveSeed(c.Seed, "hunt/workload-seed")
+	}
+	if c.Params.FaultSeed == 0 {
+		c.Params.FaultSeed = faults.DeriveSeed(c.Seed, "hunt/fault-seed")
+	}
+	c.Params.Probe = c.Objective.Probe
+	return c
+}
+
+// Generation is one optimizer round's summary.
+type Generation struct {
+	Gen      int     `json:"gen"`
+	Mode     string  `json:"mode"` // "ga" or "anneal"
+	Evals    int     `json:"evals"`
+	Best     float64 `json:"best"`
+	Mean     float64 `json:"mean"`
+	BestHash string  `json:"best_hash"`
+}
+
+// Baseline is the undirected-search comparison: the best of N random
+// genomes under the same params, seeds, and bounds.
+type Baseline struct {
+	N        int     `json:"n"`
+	Best     float64 `json:"best"`
+	Mean     float64 `json:"mean"`
+	BestHash string  `json:"best_hash"`
+}
+
+// Result is a hunt's outcome. Everything in it is deterministic given
+// the config: worker count and cache state never leak in.
+type Result struct {
+	Objective   string        `json:"objective"`
+	Mode        string        `json:"mode"`
+	Seed        int64         `json:"seed"`
+	Budget      int           `json:"budget"`
+	Evaluations int           `json:"evaluations"`
+	Params      Params        `json:"params"`
+	Best        Genome        `json:"best"`
+	BestScore   float64       `json:"best_score"`
+	BestSpec    scenario.Spec `json:"best_spec"`
+	BestHash    string        `json:"best_hash"`
+	History     []Generation  `json:"history"`
+	Random      *Baseline     `json:"random,omitempty"`
+}
+
+// rngFor derives the one rng a (label, generation, index) coordinate
+// is allowed to draw from. DeriveSeed is order-independent, so any
+// execution order — one worker or sixteen — sees identical dice.
+func rngFor(seed int64, label string, gen, idx int) *rand.Rand {
+	return rand.New(rand.NewSource(faults.DeriveSeed(seed, fmt.Sprintf("hunt/%s/%d/%d", label, gen, idx))))
+}
+
+type hunter struct {
+	cfg   Config
+	evals int
+}
+
+// evaluate scores a batch of genomes through one runner sweep. Results
+// come back in input order, so scores are positionally stable no
+// matter which worker finishes first. A twin objective evaluates two
+// specs per genome (the decoded spec and its fault-stripped twin) in
+// the same sweep.
+func (h *hunter) evaluate(ctx context.Context, genomes []Genome) ([]float64, error) {
+	per := 1
+	if h.cfg.Objective.Twin {
+		per = 2
+	}
+	specs := make([]scenario.Spec, 0, len(genomes)*per)
+	for _, g := range genomes {
+		sp := g.Decode(h.cfg.Params)
+		specs = append(specs, sp)
+		if h.cfg.Objective.Twin {
+			clean := sp
+			clean.Fault = nil
+			specs = append(specs, clean)
+		}
+	}
+	results, err := h.cfg.Runner.Sweep(ctx, specs)
+	if err != nil {
+		return nil, fmt.Errorf("hunt: evaluate: %w", err)
+	}
+	scores := make([]float64, len(genomes))
+	for i := range genomes {
+		faulted, err := DecodeOutcome(results[i*per])
+		if err != nil {
+			return nil, fmt.Errorf("hunt: genome %d (%s): %w", i, results[i*per].Hash, err)
+		}
+		var clean *Outcome
+		if h.cfg.Objective.Twin {
+			if clean, err = DecodeOutcome(results[i*per+1]); err != nil {
+				return nil, fmt.Errorf("hunt: genome %d twin (%s): %w", i, results[i*per+1].Hash, err)
+			}
+		}
+		scores[i] = sanitize(h.cfg.Objective.Score(faulted, clean))
+	}
+	h.evals += len(genomes)
+	return scores, nil
+}
+
+// Run executes the hunt.
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	cfg = cfg.norm()
+	if cfg.Objective.Score == nil {
+		return nil, fmt.Errorf("hunt: config has no objective")
+	}
+	h := &hunter{cfg: cfg}
+	res := &Result{
+		Objective: cfg.Objective.Name,
+		Mode:      cfg.Mode,
+		Seed:      cfg.Seed,
+		Budget:    cfg.Budget,
+		Params:    cfg.Params,
+		BestScore: math.Inf(-1),
+	}
+
+	switch cfg.Mode {
+	case "ga":
+		gaBudget := cfg.Budget
+		refine := int(cfg.RefineFrac * float64(cfg.Budget))
+		if refine > 0 {
+			gaBudget -= refine
+		}
+		if err := h.runGA(ctx, gaBudget, res); err != nil {
+			return nil, err
+		}
+		if refine > 0 {
+			if err := h.runAnneal(ctx, refine, res); err != nil {
+				return nil, err
+			}
+		}
+	case "anneal":
+		if err := h.runAnneal(ctx, cfg.Budget, res); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("hunt: unknown mode %q (want ga or anneal)", cfg.Mode)
+	}
+
+	res.Evaluations = h.evals
+	res.BestSpec = res.Best.Decode(cfg.Params)
+	res.BestHash = res.BestSpec.Hash()
+	return res, nil
+}
+
+// note records a candidate as best when it strictly improves. Ties
+// keep the earlier find, so the incumbent is stable across replays.
+func (r *Result) note(g Genome, score float64) {
+	if score > r.BestScore {
+		r.BestScore = score
+		r.Best = g.Clone()
+	}
+}
+
+// runGA is the population loop: evaluate, record, select, breed.
+// Elites are carried (and re-evaluated: with a cache their sweep slots
+// are free hits, and the score bookkeeping stays uniform).
+func (h *hunter) runGA(ctx context.Context, budget int, res *Result) error {
+	cfg := h.cfg
+	left := budget
+	pop := make([]Genome, cfg.Pop)
+	for i := range pop {
+		pop[i] = RandomGenome(rngFor(cfg.Seed, "init", 0, i), cfg.Bounds)
+	}
+	for gen := 0; left > 0; gen++ {
+		if len(pop) > left {
+			pop = pop[:left]
+		}
+		scores, err := h.evaluate(ctx, pop)
+		if err != nil {
+			return err
+		}
+		left -= len(pop)
+
+		order := rankDesc(scores)
+		var sum float64
+		for _, s := range scores {
+			sum += s
+		}
+		for i, g := range pop {
+			res.note(g, scores[i])
+		}
+		best := pop[order[0]]
+		g := Generation{
+			Gen: gen, Mode: "ga", Evals: h.evals,
+			Best: scores[order[0]], Mean: sum / float64(len(scores)),
+			BestHash: best.Decode(cfg.Params).Hash(),
+		}
+		res.History = append(res.History, g)
+		if cfg.Log != nil {
+			cfg.Log("hunt %s gen %d: best %.4f mean %.4f (%d/%d evals)",
+				cfg.Objective.Name, gen, g.Best, g.Mean, h.evals, cfg.Budget)
+		}
+		if left == 0 {
+			break
+		}
+
+		next := make([]Genome, 0, cfg.Pop)
+		for e := 0; e < cfg.Elite && e < len(order); e++ {
+			next = append(next, pop[order[e]].Clone())
+		}
+		for i := len(next); i < cfg.Pop; i++ {
+			// Tail slots are immigrants: fresh random genomes drawn from
+			// the same deterministic (label, gen, index) coordinates as
+			// the initial population.
+			if i >= cfg.Pop-cfg.Immigrants {
+				next = append(next, RandomGenome(rngFor(cfg.Seed, "init", gen+1, i), cfg.Bounds))
+				continue
+			}
+			rng := rngFor(cfg.Seed, "breed", gen+1, i)
+			p1 := pop[tournament(rng, scores, cfg.TournamentK)]
+			child := p1
+			if rng.Float64() < cfg.CrossoverP {
+				p2 := pop[tournament(rng, scores, cfg.TournamentK)]
+				child = Crossover(p1, p2, rng, cfg.Bounds)
+			}
+			next = append(next, child.Mutate(rng, cfg.Bounds))
+		}
+		pop = next
+	}
+	return nil
+}
+
+// Annealing temperature schedule: geometric decay across the step
+// budget, scaled to the objectives' typical score range.
+const (
+	annealT0   = 0.08
+	annealTEnd = 0.004
+)
+
+// runAnneal is the simulated-annealing loop: start from the incumbent
+// best (or a random genome when there is none yet), propose one
+// mutation per step, accept improvements always and regressions with
+// the Metropolis probability at the decaying temperature. Steps are
+// sequential by construction — each proposal depends on the last
+// accepted state — so worker count cannot change the trajectory.
+func (h *hunter) runAnneal(ctx context.Context, budget int, res *Result) error {
+	cfg := h.cfg
+	cur := res.Best
+	curScore := res.BestScore
+	if math.IsInf(curScore, -1) {
+		cur = RandomGenome(rngFor(cfg.Seed, "anneal-init", 0, 0), cfg.Bounds)
+		scores, err := h.evaluate(ctx, []Genome{cur})
+		if err != nil {
+			return err
+		}
+		curScore = scores[0]
+		res.note(cur, curScore)
+		budget--
+	}
+	for step := 0; step < budget; step++ {
+		rng := rngFor(cfg.Seed, "anneal", 0, step)
+		cand := cur.Mutate(rng, cfg.Bounds)
+		scores, err := h.evaluate(ctx, []Genome{cand})
+		if err != nil {
+			return err
+		}
+		candScore := scores[0]
+		res.note(cand, candScore)
+
+		frac := float64(step) / math.Max(1, float64(budget-1))
+		temp := annealT0 * math.Pow(annealTEnd/annealT0, frac)
+		if candScore >= curScore || rng.Float64() < math.Exp((candScore-curScore)/temp) {
+			cur, curScore = cand, candScore
+		}
+		if (step+1)%25 == 0 || step == budget-1 {
+			g := Generation{
+				Gen: len(res.History), Mode: "anneal", Evals: h.evals,
+				Best: res.BestScore, Mean: curScore,
+				BestHash: res.Best.Decode(cfg.Params).Hash(),
+			}
+			res.History = append(res.History, g)
+			if cfg.Log != nil {
+				cfg.Log("hunt %s anneal step %d: best %.4f current %.4f (%d/%d evals)",
+					cfg.Objective.Name, step+1, res.BestScore, curScore, h.evals, cfg.Budget)
+			}
+		}
+	}
+	return nil
+}
+
+// RandomBaseline evaluates n random genomes under the same params,
+// seeds, and bounds as the hunt — the undirected search the guided one
+// must beat. The baseline's evaluations do not count against the
+// hunt's budget; it is the comparison set, not part of the search.
+func RandomBaseline(ctx context.Context, cfg Config, n int) (*Baseline, error) {
+	cfg = cfg.norm()
+	if cfg.Objective.Score == nil {
+		return nil, fmt.Errorf("hunt: config has no objective")
+	}
+	h := &hunter{cfg: cfg}
+	genomes := make([]Genome, n)
+	for i := range genomes {
+		genomes[i] = RandomGenome(rngFor(cfg.Seed, "random", 0, i), cfg.Bounds)
+	}
+	scores, err := h.evaluate(ctx, genomes)
+	if err != nil {
+		return nil, err
+	}
+	base := &Baseline{N: n, Best: math.Inf(-1)}
+	var sum float64
+	for i, s := range scores {
+		sum += s
+		if s > base.Best {
+			base.Best = s
+			base.BestHash = genomes[i].Decode(cfg.Params).Hash()
+		}
+	}
+	if n > 0 {
+		base.Mean = sum / float64(n)
+	} else {
+		base.Best = 0
+	}
+	return base, nil
+}
+
+// rankDesc returns indices sorted by score descending, ties broken by
+// index so the ranking is total and replay-stable.
+func rankDesc(scores []float64) []int {
+	order := make([]int, len(scores))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		if scores[order[a]] != scores[order[b]] {
+			return scores[order[a]] > scores[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	return order
+}
+
+// tournament picks the best of k uniformly drawn indices (ties to the
+// lower index).
+func tournament(rng *rand.Rand, scores []float64, k int) int {
+	best := rng.Intn(len(scores))
+	for i := 1; i < k; i++ {
+		c := rng.Intn(len(scores))
+		if scores[c] > scores[best] || (scores[c] == scores[best] && c < best) {
+			best = c
+		}
+	}
+	return best
+}

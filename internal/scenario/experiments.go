@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/mlab"
 	"repro/internal/obs"
+	"repro/internal/traffic"
 )
 
 // This file registers every experiment in the repro as a thin spec →
@@ -231,6 +232,35 @@ func init() {
 			})
 		}),
 		Table: table[*core.SubPacketResult](),
+	})
+
+	Register(Experiment{
+		Name:        "huntcell",
+		Description: "adversarial-search cell: victim or probe flow vs a cross-traffic schedule on an inline-faulted link",
+		Defaults: Spec{
+			CCAs:  []string{"reno"},
+			Cross: []traffic.Phase{{Kind: "bbr", DurS: 10}, {Kind: "idle", DurS: 5}},
+		},
+		Run: run(func(sp Spec, sc *obs.Scope) (*core.HuntCellResult, error) {
+			cfg := core.HuntCellConfig{
+				Probe:        sp.Probe,
+				Cross:        sp.Cross,
+				RateBps:      sp.RateBps,
+				OneWayDelay:  sp.RTT() / 2,
+				Queue:        core.QueueKind(sp.Queue),
+				BufferBDP:    sp.BufferBDP,
+				Seed:         sp.Seed,
+				Fault:        sp.Fault,
+				FaultProfile: sp.FaultProfile,
+				FaultSeed:    sp.FaultSeed,
+				Obs:          sc,
+			}
+			if len(sp.CCAs) > 0 {
+				cfg.VictimCCA = sp.CCAs[0]
+			}
+			return core.RunHuntCell(cfg)
+		}),
+		Table: table[*core.HuntCellResult](),
 	})
 
 	Register(Experiment{

@@ -20,6 +20,9 @@ import (
 	"time"
 
 	"crypto/sha256"
+
+	"repro/internal/faults"
+	"repro/internal/traffic"
 )
 
 // Spec declares one experiment run: which named experiment, on what
@@ -75,6 +78,16 @@ type Spec struct {
 	// FaultSeed drives its injectors.
 	FaultProfile string `json:"fault_profile,omitempty"`
 	FaultSeed    int64  `json:"fault_seed,omitempty"`
+	// Fault is an inline fault config for experiments that support it
+	// (huntcell); it takes precedence over FaultProfile and may carry
+	// impairments no named profile has (rate oscillation, arbitrary
+	// outage placement). Hunt genomes decode into this field.
+	Fault *faults.Config `json:"fault,omitempty"`
+	// Cross is the huntcell cross-traffic schedule; Probe switches the
+	// cell's main flow from a victim bulk transfer to the Nimbus
+	// elasticity probe.
+	Cross []traffic.Phase `json:"cross,omitempty"`
+	Probe bool            `json:"probe,omitempty"`
 }
 
 // Duration converts DurationS, or returns 0 when unset.

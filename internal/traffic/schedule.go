@@ -1,0 +1,87 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Phase is one step of a declarative cross-traffic schedule: a named
+// workload kind active for a duration. Schedules are the
+// JSON-serializable form the scenario specs (and the hunt genomes)
+// carry; internal/core turns each phase into the matching generator at
+// its start offset.
+//
+// Kinds are either a registered CCA name ("reno", "cubic", "bbr",
+// "newreno", "vegas", "copa", "aimd" — a persistently backlogged flow
+// under that controller), or one of the application workloads: "video"
+// (ABR stream), "short" (Poisson short flows), "cbr" (constant bit
+// rate UDP), "idle" (no cross traffic).
+type Phase struct {
+	Kind string  `json:"kind"`
+	DurS float64 `json:"dur_s"`
+}
+
+// Duration converts DurS.
+func (p Phase) Duration() time.Duration {
+	return time.Duration(p.DurS * float64(time.Second))
+}
+
+// phaseKinds enumerates the valid schedule kinds. The CCA names must
+// stay a subset of cca.Names(); core validates the actual constructor
+// at decode time, this set only gates schedule structure.
+var phaseKinds = map[string]bool{
+	"reno": true, "newreno": true, "cubic": true, "bbr": true,
+	"vegas": true, "copa": true, "aimd": true,
+	"video": true, "short": true, "cbr": true, "idle": true,
+}
+
+// PhaseKinds returns the valid kinds, elastic first, in a fixed order
+// (for genome encoding: the order is part of the deterministic
+// decode, so it must never be rearranged, only appended to).
+func PhaseKinds() []string {
+	return []string{
+		"reno", "newreno", "cubic", "bbr", "vegas", "copa", "aimd",
+		"video", "short", "cbr", "idle",
+	}
+}
+
+// ElasticKind reports the ground-truth elasticity of a phase kind: a
+// persistently backlogged CCA-driven flow reacts to the probe's pulses
+// (elastic); application-limited video, open-loop short flows, CBR,
+// and idle do not. This is the oracle the elasticity-misclassification
+// objective scores the Nimbus estimator against.
+func ElasticKind(kind string) bool {
+	switch kind {
+	case "reno", "newreno", "cubic", "bbr", "vegas", "copa", "aimd":
+		return true
+	default:
+		return false
+	}
+}
+
+// ValidateSchedule checks schedule structure: at least one phase, every
+// kind known, every duration positive and finite.
+func ValidateSchedule(ps []Phase) error {
+	if len(ps) == 0 {
+		return fmt.Errorf("traffic: empty schedule")
+	}
+	for i, p := range ps {
+		if !phaseKinds[p.Kind] {
+			return fmt.Errorf("traffic: schedule phase %d: unknown kind %q", i, p.Kind)
+		}
+		if !(p.DurS > 0) || math.IsInf(p.DurS, 0) {
+			return fmt.Errorf("traffic: schedule phase %d (%s): non-positive duration %v", i, p.Kind, p.DurS)
+		}
+	}
+	return nil
+}
+
+// ScheduleDuration sums the schedule's phase durations.
+func ScheduleDuration(ps []Phase) time.Duration {
+	var total time.Duration
+	for _, p := range ps {
+		total += p.Duration()
+	}
+	return total
+}
