@@ -133,6 +133,10 @@ func specFlags(fs *flag.FlagSet) func(*scenario.Spec) {
 	trials := fs.Int("trials", 0, "randomized trial count (oracle)")
 	flows := fs.Int("flows", 0, "flow count (subpkt) or dataset size (fig2)")
 	users := fs.Int("users", 0, "subscriber count (access)")
+	think := fs.Duration("think", 0, "mean churn think time between transfers (manyflow)")
+	longFrac := fs.Float64("long-frac", 0, "long-transfer probability (manyflow)")
+	fluidAbove := fs.Int("fluid-above", 0,
+		"model background users with index >= N as the fluid aggregate (manyflow; 0 = all packet-level)")
 
 	return func(sp *scenario.Spec) {
 		fs.Visit(func(f *flag.Flag) {
@@ -167,6 +171,12 @@ func specFlags(fs *flag.FlagSet) func(*scenario.Spec) {
 				sp.Flows = *flows
 			case "users":
 				sp.Users = *users
+			case "think":
+				sp.ChurnThinkS = think.Seconds()
+			case "long-frac":
+				sp.LongFrac = *longFrac
+			case "fluid-above":
+				sp.FluidAbove = *fluidAbove
 			}
 		})
 	}

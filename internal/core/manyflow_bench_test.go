@@ -1,0 +1,41 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// BenchmarkManyFlow measures the cell's cost profile across population
+// sizes. The scaling contract: per-flow wall cost grows sublinearly
+// with the population (a 50x population must cost far less than 50x
+// per flow) and allocations per flow stay flat — both depend on the
+// timer wheel, the position-indexed isolation scheduler, and the
+// drained-queue array recycling pulling per-event cost out of the
+// O(population) regime.
+func BenchmarkManyFlow(b *testing.B) {
+	for _, users := range []int{100, 1000, 5000} {
+		b.Run(fmt.Sprint(users), func(b *testing.B) {
+			var ms0, ms1 runtime.MemStats
+			runtime.ReadMemStats(&ms0)
+			var events int64
+			for i := 0; i < b.N; i++ {
+				res, err := RunManyFlow(ManyFlowConfig{
+					Users:    users,
+					Duration: 2 * time.Second,
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+			}
+			runtime.ReadMemStats(&ms1)
+			allocs := float64(ms1.Mallocs - ms0.Mallocs)
+			b.ReportMetric(allocs/float64(b.N)/float64(users), "allocs/flow")
+			b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(users), "ns/flow")
+		})
+	}
+}

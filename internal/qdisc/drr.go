@@ -19,6 +19,7 @@ func ByUser(p *sim.Packet) int { return p.UserID }
 type drrClass struct {
 	id      int
 	q       []*sim.Packet
+	head    int // drain index: q[head:] is the live queue
 	bytes   int
 	deficit int
 	active  bool
@@ -26,6 +27,24 @@ type drrClass struct {
 	// the current round-robin visit; it is cleared when the scheduler
 	// moves past the class.
 	granted bool
+}
+
+// qlen returns the class's live queue length.
+func (c *drrClass) qlen() int { return len(c.q) - c.head }
+
+// popHead removes and returns the head packet. The backing array is
+// recycled when the queue empties so steady cycling does not creep
+// the slice base through memory.
+func (c *drrClass) popHead() *sim.Packet {
+	p := c.q[c.head]
+	c.q[c.head] = nil
+	c.head++
+	if c.head == len(c.q) {
+		c.q = c.q[:0]
+		c.head = 0
+	}
+	c.bytes -= p.Size
+	return p
 }
 
 // DRR is a deficit-round-robin fair queue (Shreedhar & Varghese), the
@@ -111,13 +130,10 @@ func (d *DRR) longestClass() *drrClass {
 }
 
 func (d *DRR) dropHead(c *drrClass) {
-	if len(c.q) == 0 {
+	if c.qlen() == 0 {
 		return
 	}
-	p := c.q[0]
-	c.q[0] = nil
-	c.q = c.q[1:]
-	c.bytes -= p.Size
+	p := c.popHead()
 	d.bytes -= p.Size
 	d.pkts--
 	d.Dropped++
@@ -139,7 +155,7 @@ func (d *DRR) Dequeue(_ time.Duration) (*sim.Packet, time.Duration) {
 			d.ringPos = 0
 		}
 		c := d.ring[d.ringPos]
-		if len(c.q) == 0 {
+		if c.qlen() == 0 {
 			// Class went empty: deactivate and remove from the ring.
 			c.active = false
 			c.granted = false
@@ -152,21 +168,18 @@ func (d *DRR) Dequeue(_ time.Duration) (*sim.Packet, time.Duration) {
 			c.deficit += d.quantum
 			c.granted = true
 		}
-		if c.deficit < c.q[0].Size {
+		if c.deficit < c.q[c.head].Size {
 			// Grant exhausted: move to the next class; the grant flag
 			// resets so the class receives a fresh quantum next round.
 			c.granted = false
 			d.ringPos++
 			continue
 		}
-		p := c.q[0]
-		c.q[0] = nil
-		c.q = c.q[1:]
-		c.bytes -= p.Size
+		p := c.popHead()
 		c.deficit -= p.Size
 		d.bytes -= p.Size
 		d.pkts--
-		if len(c.q) == 0 {
+		if c.qlen() == 0 {
 			c.active = false
 			c.granted = false
 			c.deficit = 0

@@ -1,6 +1,7 @@
 package qdisc
 
 import (
+	"math/bits"
 	"sort"
 	"time"
 
@@ -9,22 +10,49 @@ import (
 
 type userClass struct {
 	id   int
+	pos  int // position in sorted-id order; maintained across inserts
 	b    bucket
 	fifo *DropTail
 	caps bool // whether a rate cap applies
+	// Weighted-DRR state: quantum is the byte grant per round-robin
+	// visit (weight x MSS); deficit carries unspent grant while the
+	// user stays backlogged; granted marks that the current visit's
+	// quantum was already issued.
+	quantum int
+	deficit int
+	granted bool
 }
 
 // UserIsolation is a two-level discipline modelling the access-network
 // arrangement Figure 1 of the paper describes: each subscriber (UserID)
 // is throttled to a purchased rate by a token bucket ("operator
-// throttling") and backlogged subscribers share the link round-robin
-// ("isolation"). Flows within a subscriber share a FIFO, so intra-user
-// CCA contention remains possible while inter-user contention is
-// removed — exactly the asymmetry §2.2 discusses.
+// throttling") and backlogged subscribers share the link by weighted
+// deficit round robin ("isolation", an HTB stand-in: weights model
+// tiered plans sharing one aggregate). Flows within a subscriber share
+// a FIFO, so intra-user CCA contention remains possible while
+// inter-user contention is removed — exactly the asymmetry §2.2
+// discusses.
+//
+// The discipline is built for many-flow cells with 10k+ subscribers:
+// Dequeue finds the next backlogged user through a bitmap over
+// sorted-id positions instead of scanning every user, and Len/Bytes
+// return cached aggregates instead of walking the user map. With the
+// default weight (1.0, quantum = MSS) and MSS-sized packets the pick
+// sequence is identical to one-packet-per-visit round robin, which the
+// repo's byte-identical determinism contract depends on.
 type UserIsolation struct {
-	users      map[int]*userClass
-	order      []int // deterministic iteration order
-	rr         int
+	users  map[int]*userClass
+	order  []int    // user ids in sorted order
+	active []uint64 // bit i set <=> users[order[i]] is backlogged
+	// rr is the scan-start position. It is deliberately NOT adjusted
+	// when a new user id is inserted before it: the original
+	// implementation kept a raw index across insertions, and the
+	// resulting pick sequence is part of the determinism contract.
+	rr    int
+	visit int // position of the user mid-DRR-visit, -1 if none
+	pkts  int
+	bytes int
+
 	defRate    float64 // bits/s; 0 = uncapped
 	defBurst   int
 	perUserCap int // bytes of backlog per user
@@ -41,6 +69,7 @@ func NewUserIsolation(defaultRateBits float64, burstBytes, perUserBacklogBytes i
 	}
 	return &UserIsolation{
 		users:      make(map[int]*userClass),
+		visit:      -1,
 		defRate:    defaultRateBits,
 		defBurst:   burstBytes,
 		perUserCap: perUserBacklogBytes,
@@ -49,29 +78,108 @@ func NewUserIsolation(defaultRateBits float64, burstBytes, perUserBacklogBytes i
 
 // SetUserRate overrides the rate cap for one user (0 = uncapped),
 // modelling tiered service plans (Paul et al.: 3–11 plans per ISP).
+// Changing the rate of an already-capped user preserves the bucket's
+// accrual state: accumulated credit is clamped to the new burst and
+// the refill timestamp carries over, so a mid-run plan change does not
+// hand the user a fresh burst it never purchased.
 func (u *UserIsolation) SetUserRate(userID int, rateBits float64, burstBytes int) {
 	c := u.user(userID)
-	if rateBits > 0 {
+	switch {
+	case rateBits > 0 && c.caps:
+		old := c.b
+		c.b = newBucket(rateBits, burstBytes)
+		c.b.last = old.last
+		if old.tokens < c.b.tokens {
+			c.b.tokens = old.tokens
+		}
+	case rateBits > 0:
 		c.b = newBucket(rateBits, burstBytes)
 		c.caps = true
-	} else {
+	default:
+		c.b = bucket{}
 		c.caps = false
 	}
 }
 
+// SetUserWeight sets the user's DRR weight (default 1.0): a user with
+// weight w receives w x MSS bytes of grant per round-robin visit, so
+// backlogged unthrottled users share capacity in proportion to weight.
+func (u *UserIsolation) SetUserWeight(userID int, weight float64) {
+	c := u.user(userID)
+	q := int(weight * sim.MSS)
+	if q < 1 {
+		q = 1
+	}
+	c.quantum = q
+}
+
 func (u *UserIsolation) user(id int) *userClass {
-	c := u.users[id]
-	if c == nil {
-		c = &userClass{id: id, fifo: NewDropTail(u.perUserCap)}
-		if u.defRate > 0 {
-			c.b = newBucket(u.defRate, u.defBurst)
-			c.caps = true
-		}
-		u.users[id] = c
-		u.order = append(u.order, id)
-		sort.Ints(u.order)
+	if c := u.users[id]; c != nil {
+		return c
+	}
+	c := &userClass{id: id, fifo: NewDropTail(u.perUserCap), quantum: sim.MSS}
+	if u.defRate > 0 {
+		c.b = newBucket(u.defRate, u.defBurst)
+		c.caps = true
+	}
+	u.users[id] = c
+	pos := sort.SearchInts(u.order, id)
+	u.order = append(u.order, 0)
+	copy(u.order[pos+1:], u.order[pos:])
+	u.order[pos] = id
+	if n := len(u.order); (n+63)/64 > len(u.active) {
+		u.active = append(u.active, 0)
+	}
+	u.insertBit(pos)
+	c.pos = pos
+	for i := pos + 1; i < len(u.order); i++ {
+		u.users[u.order[i]].pos = i
+	}
+	if u.visit >= pos {
+		u.visit++
 	}
 	return c
+}
+
+// insertBit shifts all occupancy bits at positions >= pos up by one,
+// opening a zero bit at pos for a newly inserted (empty) user.
+func (u *UserIsolation) insertBit(pos int) {
+	w := pos >> 6
+	b := uint(pos & 63)
+	low := u.active[w] & (1<<b - 1)
+	rest := u.active[w] &^ (1<<b - 1)
+	carry := rest >> 63
+	u.active[w] = low | rest<<1
+	for i := w + 1; i < len(u.active); i++ {
+		next := u.active[i] >> 63
+		u.active[i] = u.active[i]<<1 | carry
+		carry = next
+	}
+}
+
+func (u *UserIsolation) setBit(pos int)   { u.active[pos>>6] |= 1 << uint(pos&63) }
+func (u *UserIsolation) clearBit(pos int) { u.active[pos>>6] &^= 1 << uint(pos&63) }
+
+// nextActive returns the first backlogged position >= from, or -1.
+func (u *UserIsolation) nextActive(from int) int {
+	if from < 0 {
+		from = 0
+	}
+	w := from >> 6
+	if w >= len(u.active) {
+		return -1
+	}
+	word := u.active[w] >> uint(from&63) << uint(from&63)
+	for {
+		if word != 0 {
+			return w<<6 + bits.TrailingZeros64(word)
+		}
+		w++
+		if w >= len(u.active) {
+			return -1
+		}
+		word = u.active[w]
+	}
 }
 
 // Enqueue implements sim.Qdisc.
@@ -81,63 +189,129 @@ func (u *UserIsolation) Enqueue(p *sim.Packet, now time.Duration) bool {
 		u.Dropped++
 		return false
 	}
+	u.pkts++
+	u.bytes += p.Size
+	if c.fifo.Len() == 1 {
+		u.setBit(c.pos)
+	}
 	return true
 }
 
-// Dequeue implements sim.Qdisc: round-robin over users whose head
-// packet conforms to their token bucket. If every backlogged user is
-// waiting for tokens, it reports the earliest ready time.
+// Dequeue implements sim.Qdisc: weighted deficit round robin over
+// backlogged users whose head packet conforms to their token bucket.
+// If every backlogged user is waiting for tokens, it reports the
+// earliest ready time.
 func (u *UserIsolation) Dequeue(now time.Duration) (*sim.Packet, time.Duration) {
-	n := len(u.order)
-	if n == 0 {
+	if u.pkts == 0 {
 		return nil, 0
 	}
 	var earliest time.Duration
-	backlogged := false
-	for i := 0; i < n; i++ {
-		idx := (u.rr + i) % n
-		c := u.users[u.order[idx]]
-		if c.fifo.Len() == 0 {
-			continue
+	// Each outer round issues at most one quantum per backlogged user.
+	// A user skipped for insufficient deficit gains quantum >= 1 byte
+	// per round, so some user's deficit reaches its head size in
+	// finitely many rounds: the loop terminates with a packet unless
+	// every backlogged user is token-throttled.
+	for {
+		start := u.rr
+		if u.visit >= 0 {
+			// Resume the in-progress visit first so leftover deficit is
+			// spent before the cursor moves on.
+			start = u.visit
 		}
-		backlogged = true
-		head := c.fifo.q[0]
-		if c.caps {
-			c.b.refill(now)
-			need := float64(head.Size)
-			if c.b.tokens < need {
-				t := c.b.timeFor(now, need)
-				if earliest == 0 || t < earliest {
-					earliest = t
-				}
-				continue
+		if start >= len(u.order) {
+			start = 0
+		}
+		deficitSkip := false
+		pos := u.nextActive(start)
+		wrapped := false
+		if pos < 0 {
+			pos = u.nextActive(0)
+			wrapped = true
+		}
+		for pos >= 0 {
+			if p := u.serveAt(pos, now, &earliest, &deficitSkip); p != nil {
+				return p, 0
 			}
-			c.b.tokens -= need
+			next := u.nextActive(pos + 1)
+			if next < 0 && !wrapped {
+				next = u.nextActive(0)
+				wrapped = true
+			}
+			if wrapped && next >= start {
+				next = -1 // full circle
+			}
+			pos = next
 		}
-		p, _ := c.fifo.Dequeue(now)
-		u.rr = (idx + 1) % n
-		return p, 0
+		if !deficitSkip {
+			return nil, earliest
+		}
 	}
-	if !backlogged {
-		return nil, 0
+}
+
+// serveAt attempts to serve the backlogged user at position pos,
+// returning its head packet on success. On throttle it folds the
+// user's token-ready time into earliest; on insufficient deficit it
+// sets deficitSkip so the caller runs another grant round.
+func (u *UserIsolation) serveAt(pos int, now time.Duration, earliest *time.Duration, deficitSkip *bool) *sim.Packet {
+	c := u.users[u.order[pos]]
+	head := c.fifo.peek()
+	if c.caps {
+		c.b.refill(now)
+		need := float64(head.Size)
+		if c.b.tokens < need {
+			t := c.b.timeFor(now, need)
+			if *earliest == 0 || t < *earliest {
+				*earliest = t
+			}
+			c.granted = false
+			if u.visit == pos {
+				u.visit = -1
+			}
+			return nil
+		}
 	}
-	return nil, earliest
+	if !c.granted {
+		c.deficit += c.quantum
+		c.granted = true
+	}
+	if c.deficit < head.Size {
+		c.granted = false
+		*deficitSkip = true
+		if u.visit == pos {
+			u.visit = -1
+		}
+		return nil
+	}
+	if c.caps {
+		c.b.tokens -= float64(head.Size)
+	}
+	p, _ := c.fifo.Dequeue(now)
+	c.deficit -= p.Size
+	u.pkts--
+	u.bytes -= p.Size
+	if c.fifo.Len() == 0 {
+		u.clearBit(pos)
+		c.deficit = 0
+		c.granted = false
+		u.visit = -1
+	} else {
+		u.visit = pos
+	}
+	u.rr = (pos + 1) % len(u.order)
+	return p
 }
 
 // Len implements sim.Qdisc.
-func (u *UserIsolation) Len() int {
-	n := 0
-	for _, c := range u.users {
-		n += c.fifo.Len()
-	}
-	return n
-}
+func (u *UserIsolation) Len() int { return u.pkts }
 
 // Bytes implements sim.Qdisc.
-func (u *UserIsolation) Bytes() int {
+func (u *UserIsolation) Bytes() int { return u.bytes }
+
+// ActiveUsers returns the number of users with queued packets.
+func (u *UserIsolation) ActiveUsers() int {
 	n := 0
-	for _, c := range u.users {
-		n += c.fifo.Bytes()
+	for _, w := range u.active {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }

@@ -78,7 +78,7 @@ func (s *TokenBucketShaper) Dequeue(now time.Duration) (*sim.Packet, time.Durati
 		return nil, 0
 	}
 	s.b.refill(now)
-	head := s.fifo.q[0]
+	head := s.fifo.peek()
 	need := float64(head.Size)
 	if s.b.tokens < need {
 		return nil, s.b.timeFor(now, need)

@@ -264,6 +264,38 @@ func init() {
 	})
 
 	Register(Experiment{
+		Name:        "manyflow",
+		Description: "population-scale contention cell: a victim CCA pair among N churning background subscribers behind per-user isolation",
+		Defaults: Spec{
+			CCAs:  []string{"reno", "cubic"},
+			Flows: 100,
+		},
+		Run: run(func(sp Spec, sc *obs.Scope) (*core.ManyFlowResult, error) {
+			cfg := core.ManyFlowConfig{
+				Users:       sp.Flows,
+				RateBps:     sp.RateBps,
+				OneWayDelay: sp.RTT() / 2,
+				BufferBDP:   sp.BufferBDP,
+				Duration:    sp.Duration(),
+				ChurnThink:  time.Duration(sp.ChurnThinkS * float64(time.Second)),
+				LongFrac:    sp.LongFrac,
+				Seed:        sp.Seed,
+				FluidAbove:  sp.FluidAbove,
+				Check:       true,
+				Obs:         sc,
+			}
+			if len(sp.CCAs) > 0 {
+				cfg.CCA1 = sp.CCAs[0]
+			}
+			if len(sp.CCAs) > 1 {
+				cfg.CCA2 = sp.CCAs[1]
+			}
+			return core.RunManyFlow(cfg)
+		}),
+		Table: table[*core.ManyFlowResult](),
+	})
+
+	Register(Experiment{
 		Name:        "jitter",
 		Description: "abl-jitter: delay contention under token-bucket shaping (§5.2)",
 		Run: run(func(sp Spec, sc *obs.Scope) (*core.JitterResult, error) {

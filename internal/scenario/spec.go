@@ -88,6 +88,13 @@ type Spec struct {
 	// elasticity probe.
 	Cross []traffic.Phase `json:"cross,omitempty"`
 	Probe bool            `json:"probe,omitempty"`
+	// ChurnThinkS is manyflow's mean think time between a background
+	// user's transfers; LongFrac its long-transfer probability.
+	ChurnThinkS float64 `json:"churn_think_s,omitempty"`
+	LongFrac    float64 `json:"long_frac,omitempty"`
+	// FluidAbove switches manyflow background users with index >= the
+	// cutoff to the fluid aggregate (hybrid fidelity); 0 disables.
+	FluidAbove int `json:"fluid_above,omitempty"`
 }
 
 // Duration converts DurationS, or returns 0 when unset.

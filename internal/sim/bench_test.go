@@ -6,7 +6,9 @@ import (
 )
 
 // BenchmarkEngineEvents measures raw event throughput: schedule+run of
-// chained events (each event schedules the next).
+// chained events (each event schedules the next). A single pending
+// timer is the wheel's worst case, so this path stays on the heap via
+// the small-population threshold.
 func BenchmarkEngineEvents(b *testing.B) {
 	eng := &Engine{}
 	n := 0
@@ -26,19 +28,89 @@ func BenchmarkEngineEvents(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineEventsDense measures event throughput with a dense
+// resident timer population (4k outstanding, homogeneous near-future
+// spread) — the workload thousands of transport senders create and
+// the one the hashed timer wheel exists for.
+func BenchmarkEngineEventsDense(b *testing.B) {
+	benchDense(b, &Engine{})
+}
+
+// BenchmarkEngineEventsDenseHeap is the same dense workload with the
+// wheel disabled — the pure-heap reference the wheel is measured
+// against.
+func BenchmarkEngineEventsDenseHeap(b *testing.B) {
+	benchDense(b, &Engine{wheelOff: true})
+}
+
+func benchDense(b *testing.B, eng *Engine) {
+	const resident = 4096
+	n := 0
+	var next func()
+	next = func() {
+		n++
+		if n < b.N+resident {
+			// Spread rescheduling across ~50ms like per-flow RTT timers.
+			eng.Schedule(time.Duration(1+n%200)*250*time.Microsecond, next)
+		}
+	}
+	for i := 0; i < resident; i++ {
+		eng.Schedule(time.Duration(1+i%200)*250*time.Microsecond, next)
+	}
+	b.ResetTimer()
+	for n < b.N {
+		if !eng.Step() {
+			b.Fatalf("drained early at %d of %d", n, b.N)
+		}
+	}
+}
+
 // BenchmarkLinkForwarding measures the per-packet cost of the link
-// pipeline (enqueue, serialize, propagate, deliver).
+// pipeline (enqueue, serialize, propagate, deliver) using pooled
+// packets, as transport does — the full path is zero-alloc.
 func BenchmarkLinkForwarding(b *testing.B) {
 	eng := &Engine{}
 	link := NewLink(eng, "l", 1e12, time.Microsecond, &testQueue{})
 	got := 0
-	dest := ReceiverFunc(func(*Packet) { got++ })
+	dest := ReceiverFunc(func(p *Packet) { got++; p.Release() })
+	path := []*Link{link}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Inject(&Packet{Size: MSS, Path: []*Link{link}, Dest: dest})
+		p := eng.NewPacket()
+		p.Size = MSS
+		p.Path = path
+		p.Dest = dest
+		Inject(p)
 		eng.Run(time.Duration(i+1) * time.Millisecond)
 	}
 	if got != b.N {
 		b.Fatalf("delivered %d of %d", got, b.N)
+	}
+}
+
+// TestLinkForwardingAllocs pins the link forwarding path at zero
+// steady-state allocations: once the pool and event slots are warm,
+// pushing a pooled packet through enqueue, serialization, propagation,
+// and delivery must not allocate.
+func TestLinkForwardingAllocs(t *testing.T) {
+	eng := &Engine{}
+	link := NewLink(eng, "l", 1e9, 50*time.Microsecond, &testQueue{})
+	dest := ReceiverFunc(func(p *Packet) { p.Release() })
+	path := []*Link{link}
+	send := func(n int) {
+		for i := 0; i < n; i++ {
+			p := eng.NewPacket()
+			p.Size = MSS
+			p.Path = path
+			p.Dest = dest
+			Inject(p)
+		}
+		for eng.Step() {
+		}
+	}
+	send(512) // warm pool, slots, and queue capacity
+	allocs := testing.AllocsPerRun(100, func() { send(64) })
+	if allocs > 0 {
+		t.Fatalf("link forwarding allocates %.1f times per 64-packet batch, want 0", allocs)
 	}
 }

@@ -58,9 +58,15 @@ type Engine struct {
 	// Processed counts events executed, for tests and runaway guards.
 	Processed int64
 
-	heap  []heapNode  // 4-ary min-heap of pending events
+	heap  []heapNode  // 4-ary min-heap of far/sparse pending events
+	wheel wheel       // hashed hierarchical wheel for near-horizon events
 	slots []eventSlot // stable payload storage indexed by heapNode.slot
 	free  []int32     // recycled slot indices (LIFO)
+
+	// wheelOff forces every event into the heap. Test-only: the
+	// scheduling fuzzer uses it to run a heap-pure shadow engine and
+	// check wheel-vs-heap pop-order equivalence.
+	wheelOff bool
 
 	pool packetPool
 	hook Hook
@@ -184,7 +190,9 @@ func (e *Engine) freeSlot(slot int32) {
 }
 
 // push clamps at to now, assigns the FIFO tie-break sequence, and
-// sifts the node into the 4-ary heap.
+// routes the node to the timer wheel (near-horizon events) or the
+// 4-ary heap (far/sparse events). The split is invisible to callers:
+// pops always come out in global (at, seq) order.
 func (e *Engine) push(at time.Duration, slot int32) Timer {
 	if at < e.now {
 		at = e.now
@@ -193,18 +201,14 @@ func (e *Engine) push(at time.Duration, slot int32) Timer {
 	if e.hook != nil {
 		e.hook.OnSchedule(at, e.seq)
 	}
-	e.heap = append(e.heap, heapNode{at: at, seq: e.seq, slot: slot})
-	e.siftUp(len(e.heap) - 1)
-	return Timer{eng: e, slot: slot, gen: e.slots[slot].gen}
-}
-
-// less orders events by time, breaking ties by schedule order so
-// same-time events run FIFO.
-func (e *Engine) less(a, b heapNode) bool {
-	if a.at != b.at {
-		return a.at < b.at
+	n := heapNode{at: at, seq: e.seq, slot: slot}
+	if e.wheelOff ||
+		(e.wheel.count == 0 && len(e.heap) < wheelMinPop) ||
+		!e.wheel.tryInsert(n, e.now) {
+		e.heap = append(e.heap, n)
+		e.siftUp(len(e.heap) - 1)
 	}
-	return a.seq < b.seq
+	return Timer{eng: e, slot: slot, gen: e.slots[slot].gen}
 }
 
 func (e *Engine) siftUp(i int) {
@@ -212,7 +216,7 @@ func (e *Engine) siftUp(i int) {
 	n := h[i]
 	for i > 0 {
 		parent := (i - 1) / 4
-		if !e.less(n, h[parent]) {
+		if !nodeLess(n, h[parent]) {
 			break
 		}
 		h[i] = h[parent]
@@ -236,11 +240,11 @@ func (e *Engine) siftDown(i int) {
 			last = size
 		}
 		for c := first + 1; c < last; c++ {
-			if e.less(h[c], h[best]) {
+			if nodeLess(h[c], h[best]) {
 				best = c
 			}
 		}
-		if !e.less(h[best], n) {
+		if !nodeLess(h[best], n) {
 			break
 		}
 		h[i] = h[best]
@@ -249,7 +253,7 @@ func (e *Engine) siftDown(i int) {
 	h[i] = n
 }
 
-// popMin removes and returns the earliest pending node. The caller
+// popMin removes and returns the earliest heap node. The caller
 // must know the heap is non-empty.
 func (e *Engine) popMin() heapNode {
 	h := e.heap
@@ -263,11 +267,47 @@ func (e *Engine) popMin() heapNode {
 	return top
 }
 
+// peekAt returns the time of the earliest pending event across the
+// wheel and the heap. An empty wheel (the sparse-population common
+// case) short-circuits to a plain heap peek.
+func (e *Engine) peekAt() (time.Duration, bool) {
+	if e.wheel.count == 0 {
+		if len(e.heap) == 0 {
+			return 0, false
+		}
+		return e.heap[0].at, true
+	}
+	wn, _, _, _ := e.wheel.peek(e.now)
+	if len(e.heap) > 0 && nodeLess(e.heap[0], wn) {
+		return e.heap[0].at, true
+	}
+	return wn.at, true
+}
+
+// popGlobal removes and returns the global (at, seq) minimum across
+// the wheel and the heap.
+func (e *Engine) popGlobal() (heapNode, bool) {
+	if e.wheel.count == 0 {
+		if len(e.heap) == 0 {
+			return heapNode{}, false
+		}
+		return e.popMin(), true
+	}
+	wn, lvl, idx, _ := e.wheel.peek(e.now)
+	if len(e.heap) > 0 && nodeLess(e.heap[0], wn) {
+		return e.popMin(), true
+	}
+	return e.wheel.pop(lvl, idx), true
+}
+
 // Step executes the next pending event, advancing the clock. It returns
 // false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.heap) > 0 {
-		node := e.popMin()
+	for {
+		node, ok := e.popGlobal()
+		if !ok {
+			return false
+		}
 		s := &e.slots[node.slot]
 		if s.cancelled {
 			e.freeSlot(node.slot)
@@ -290,7 +330,6 @@ func (e *Engine) Step() bool {
 		}
 		return true
 	}
-	return false
 }
 
 // Run executes events until the clock would pass until, or until no
@@ -299,8 +338,9 @@ func (e *Engine) Step() bool {
 // drained earlier and was behind until... the clock never exceeds
 // until).
 func (e *Engine) Run(until time.Duration) {
-	for len(e.heap) > 0 {
-		if e.heap[0].at > until {
+	for {
+		at, ok := e.peekAt()
+		if !ok || at > until {
 			break
 		}
 		e.Step()
@@ -312,7 +352,7 @@ func (e *Engine) Run(until time.Duration) {
 
 // Pending returns the number of events currently queued (including
 // cancelled-but-unreaped ones).
-func (e *Engine) Pending() int { return len(e.heap) }
+func (e *Engine) Pending() int { return len(e.heap) + e.wheel.count }
 
 // Reset discards every pending event and rewinds the clock and
 // counters, leaving the engine ready for a fresh run. Slot generations
@@ -324,31 +364,42 @@ func (e *Engine) Reset() {
 		e.freeSlot(node.slot)
 	}
 	e.heap = e.heap[:0]
+	e.wheel.drain(func(n heapNode) { e.freeSlot(n.slot) })
 	e.now = 0
 	e.seq = 0
 	e.Processed = 0
 }
 
-// verifyHeap checks the 4-ary heap ordering invariant and the
-// heap/slot-table linkage; the scheduling fuzzer calls it after every
-// operation. It returns nil when the structure is sound.
+// verifyHeap checks the 4-ary heap and timer-wheel ordering
+// invariants and their linkage to the slot table; the scheduling
+// fuzzer calls it after every operation. It returns nil when the
+// structure is sound.
 func (e *Engine) verifyHeap() error {
-	seen := make(map[int32]bool, len(e.heap))
+	seen := make(map[int32]bool, len(e.heap)+e.wheel.count)
+	checkSlot := func(n heapNode) error {
+		if n.slot < 0 || int(n.slot) >= len(e.slots) {
+			return fmt.Errorf("node references slot %d outside table of %d", n.slot, len(e.slots))
+		}
+		if seen[n.slot] {
+			return fmt.Errorf("slot %d referenced by two pending nodes", n.slot)
+		}
+		seen[n.slot] = true
+		return nil
+	}
 	for i, n := range e.heap {
 		if i > 0 {
 			parent := (i - 1) / 4
-			if e.less(n, e.heap[parent]) {
+			if nodeLess(n, e.heap[parent]) {
 				return fmt.Errorf("heap order violated at %d: node (%v, %d) < parent (%v, %d)",
 					i, n.at, n.seq, e.heap[parent].at, e.heap[parent].seq)
 			}
 		}
-		if n.slot < 0 || int(n.slot) >= len(e.slots) {
-			return fmt.Errorf("heap node %d references slot %d outside table of %d", i, n.slot, len(e.slots))
+		if err := checkSlot(n); err != nil {
+			return err
 		}
-		if seen[n.slot] {
-			return fmt.Errorf("slot %d referenced by two heap nodes", n.slot)
-		}
-		seen[n.slot] = true
+	}
+	if err := e.wheel.verify(e.now, checkSlot); err != nil {
+		return err
 	}
 	for _, slot := range e.free {
 		if seen[slot] {

@@ -5,9 +5,13 @@ import (
 	"time"
 )
 
-// testQueue is a minimal unbounded FIFO qdisc for link tests.
+// testQueue is a minimal unbounded FIFO qdisc for link tests. It
+// drains by head index (not by reslicing the base forward) so a
+// steady enqueue/dequeue cycle reuses one backing array instead of
+// creeping through memory — the allocs assertion tests depend on it.
 type testQueue struct {
 	q     []*Packet
+	head  int
 	bytes int
 }
 
@@ -18,16 +22,21 @@ func (t *testQueue) Enqueue(p *Packet, _ time.Duration) bool {
 }
 
 func (t *testQueue) Dequeue(_ time.Duration) (*Packet, time.Duration) {
-	if len(t.q) == 0 {
+	if t.head == len(t.q) {
 		return nil, 0
 	}
-	p := t.q[0]
-	t.q = t.q[1:]
+	p := t.q[t.head]
+	t.q[t.head] = nil
+	t.head++
+	if t.head == len(t.q) {
+		t.q = t.q[:0]
+		t.head = 0
+	}
 	t.bytes -= p.Size
 	return p, 0
 }
 
-func (t *testQueue) Len() int   { return len(t.q) }
+func (t *testQueue) Len() int   { return len(t.q) - t.head }
 func (t *testQueue) Bytes() int { return t.bytes }
 
 func TestLinkSerializationTiming(t *testing.T) {

@@ -1,0 +1,333 @@
+package sim
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+)
+
+// This file implements the engine's hashed hierarchical timer wheel.
+//
+// Thousands of transport senders create a dense population of
+// near-future timers (pacing releases, serialization completions,
+// propagation arrivals, RTOs) that all live within a few RTTs of the
+// clock. A comparison heap pays O(log n) per insert against the whole
+// population; the wheel hashes each event into a time-slot bucket so
+// the cost scales with bucket occupancy instead. Far or sparse timers
+// (phase schedules, watchdogs) overflow to the existing indexed 4-ary
+// heap — the engine picks per-timer at schedule time.
+//
+// Ordering is the load-bearing invariant: every experiment's byte
+// determinism rests on events firing in exact (at, seq) order, so the
+// wheel must be indistinguishable from the heap to any observer. Three
+// properties deliver that:
+//
+//  1. Each bucket is itself a small 4-ary min-heap ordered by the same
+//     (at, seq) key the engine heap uses, so a bucket's root is its
+//     earliest event.
+//  2. Within a level, live events always span less than one wheel
+//     revolution (enforced at insert, preserved as the clock only
+//     moves forward), so scanning buckets cursor-first yields buckets
+//     in strictly increasing time-slot order and the first non-empty
+//     bucket's root is the level minimum.
+//  3. The engine compares the two level minima and the heap top and
+//     pops the overall (at, seq) minimum.
+//
+// Cancellation needs no wheel surgery: cancelled events keep their
+// bucket seat and are skipped at pop, exactly as the heap does.
+const (
+	// wheelBits is the log2 bucket count per level.
+	wheelBits  = 8
+	wheelSlots = 1 << wheelBits
+	wheelMask  = wheelSlots - 1
+	// wheelLevels is the hierarchy depth. Level 0 buckets are one tick
+	// wide; level 1 buckets are wheelSlots ticks wide.
+	wheelLevels = 2
+	// wheelTickBits sets the level-0 bucket width to 2^18ns (~262µs),
+	// a power of two so hashing a time to its tick is a shift, not a
+	// division. That puts pacing, serialization, and sub-RTT timers in
+	// level 0 (horizon ~67ms), RTT/RTO-scale timers in level 1
+	// (horizon ~17.2s), and leaves phase schedules and long watchdogs
+	// to the heap.
+	wheelTickBits = 18
+	wheelTickDur  = time.Duration(1) << wheelTickBits
+	// wheelMinPop is the pending-event population below which the
+	// engine keeps everything in the heap: with a handful of timers
+	// the heap's log depth is trivially cheap and the wheel's hashing
+	// and bitmap scans are pure overhead. The split is a performance
+	// policy only — pop order is (at, seq) regardless of residence.
+	wheelMinPop = 64
+	// bucketKeepCap bounds the backing-array capacity an emptied
+	// bucket retains. Dense populations concentrate at the cursor, so
+	// every bucket transiently holds a large share of the live events
+	// as the clock sweeps past it; without a shrink, each of the 512
+	// buckets would permanently keep an array sized for that peak and
+	// the wheel's footprint would be ~buckets × peak-population
+	// instead of ~population. Emptied buckets above this capacity are
+	// released to the allocator; the regrow ladder costs O(log) per
+	// revolution, which the shrink caps at a few percent of push cost.
+	bucketKeepCap = 512
+)
+
+// wheelLevel is one ring of hashed buckets plus an occupancy bitmap
+// for O(words) first-non-empty scans.
+type wheelLevel struct {
+	buckets [wheelSlots][]heapNode
+	occ     [wheelSlots / 64]uint64
+	count   int
+}
+
+// wheel is the two-level hashed hierarchical timer wheel. The zero
+// value is ready for use.
+//
+// The minimum is cached between mutations: inserts fold into the
+// cache with one comparison, pops invalidate it, and the bitmap scan
+// only runs on the first peek after a pop. That keeps the
+// engine's peek-then-pop cycle at one scan per fired event.
+type wheel struct {
+	levels [wheelLevels]wheelLevel
+	count  int
+
+	minNode  heapNode
+	minLevel int
+	minIdx   int
+	minOK    bool // a minimum exists (count > 0)
+	minValid bool // the cached minimum is current
+}
+
+// nodeLess is the engine-wide event ordering: by time, FIFO by
+// schedule sequence at equal times. The heap and every wheel bucket
+// order by this same key.
+func nodeLess(a, b heapNode) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// wheelTick maps a virtual time to its level-0 tick index.
+func wheelTick(at time.Duration) int64 { return int64(at) >> wheelTickBits }
+
+// tryInsert hashes the node into the shallowest level able to hold it
+// given the current clock, or reports false when the event is beyond
+// the wheel horizon and belongs in the heap. The per-level condition —
+// fewer than wheelSlots of that level's own ticks ahead of the cursor
+// — is what keeps live events within one revolution per level.
+func (w *wheel) tryInsert(n heapNode, now time.Duration) bool {
+	t, c := wheelTick(n.at), wheelTick(now)
+	var level int
+	if t-c < wheelSlots {
+		level = 0
+	} else if (t>>wheelBits)-(c>>wheelBits) < wheelSlots {
+		level = 1
+	} else {
+		return false
+	}
+	idx := int((t >> uint(level*wheelBits)) & wheelMask)
+	lv := &w.levels[level]
+	bucketPush(&lv.buckets[idx], n)
+	lv.occ[idx>>6] |= 1 << uint(idx&63)
+	lv.count++
+	w.count++
+	if w.minValid && (!w.minOK || nodeLess(n, w.minNode)) {
+		w.minNode, w.minLevel, w.minIdx, w.minOK = n, level, idx, true
+	}
+	return true
+}
+
+// firstFrom returns the index of the first occupied bucket at or
+// after `from` in circular scan order, or -1 when the level is empty.
+// Because live events span less than one revolution, circular order
+// from the cursor is time order.
+func (lv *wheelLevel) firstFrom(from int) int {
+	w, b := from>>6, uint(from&63)
+	if v := lv.occ[w] >> b; v != 0 {
+		return from + bits.TrailingZeros64(v)
+	}
+	const words = wheelSlots / 64
+	for i := 1; i <= words; i++ {
+		wi := (w + i) % words
+		if v := lv.occ[wi]; v != 0 {
+			return wi<<6 + bits.TrailingZeros64(v)
+		}
+	}
+	return -1
+}
+
+// peek returns the wheel's (at, seq) minimum without removing it,
+// along with its level and bucket so pop can target it directly. The
+// result is cached until the next pop; inserts keep the cache exact.
+func (w *wheel) peek(now time.Duration) (n heapNode, level, idx int, ok bool) {
+	if w.count == 0 {
+		return heapNode{}, 0, 0, false
+	}
+	if w.minValid {
+		return w.minNode, w.minLevel, w.minIdx, w.minOK
+	}
+	c := wheelTick(now)
+	for l := 0; l < wheelLevels; l++ {
+		lv := &w.levels[l]
+		if lv.count == 0 {
+			continue
+		}
+		cur := int((c >> uint(l*wheelBits)) & wheelMask)
+		i := lv.firstFrom(cur)
+		if i < 0 {
+			continue
+		}
+		root := lv.buckets[i][0]
+		if !ok || nodeLess(root, n) {
+			n, level, idx, ok = root, l, i, true
+		}
+	}
+	w.minNode, w.minLevel, w.minIdx, w.minOK, w.minValid = n, level, idx, ok, true
+	return n, level, idx, ok
+}
+
+// pop removes the root of the identified bucket (as located by peek)
+// and invalidates the cached minimum.
+func (w *wheel) pop(level, idx int) heapNode {
+	lv := &w.levels[level]
+	n := bucketPop(&lv.buckets[idx])
+	if len(lv.buckets[idx]) == 0 {
+		lv.occ[idx>>6] &^= 1 << uint(idx&63)
+		if cap(lv.buckets[idx]) > bucketKeepCap {
+			lv.buckets[idx] = nil
+		}
+	}
+	lv.count--
+	w.count--
+	w.minValid = false
+	return n
+}
+
+// drain empties every bucket, calling fn for each removed node (in no
+// particular order — callers use it for slot reclamation on Reset).
+func (w *wheel) drain(fn func(heapNode)) {
+	for l := range w.levels {
+		lv := &w.levels[l]
+		for i := range lv.buckets {
+			for _, n := range lv.buckets[i] {
+				fn(n)
+			}
+			lv.buckets[i] = lv.buckets[i][:0]
+		}
+		for i := range lv.occ {
+			lv.occ[i] = 0
+		}
+		lv.count = 0
+	}
+	w.count = 0
+	w.minValid = false
+	w.minOK = false
+}
+
+// bucketPush appends n and sifts it up the bucket's 4-ary min-heap.
+// Cold buckets are given room for a handful of events up front so a
+// bucket's first occupants don't pay a realloc ladder; thereafter the
+// capacity persists across drains and wheel revolutions.
+func bucketPush(h *[]heapNode, n heapNode) {
+	if cap(*h) == 0 {
+		*h = make([]heapNode, 0, 8)
+	}
+	s := append(*h, n)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 4
+		if !nodeLess(s[i], s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+// bucketPop removes and returns the bucket heap's root.
+func bucketPop(h *[]heapNode) heapNode {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s = s[:last]
+	*h = s
+	i, size := 0, last
+	for {
+		first := 4*i + 1
+		if first >= size {
+			break
+		}
+		best := first
+		end := first + 4
+		if end > size {
+			end = size
+		}
+		for c := first + 1; c < end; c++ {
+			if nodeLess(s[c], s[best]) {
+				best = c
+			}
+		}
+		if !nodeLess(s[best], s[i]) {
+			break
+		}
+		s[i], s[best] = s[best], s[i]
+		i = best
+	}
+	return top
+}
+
+// verify checks the wheel's structural invariants: bucket heap order,
+// occupancy bitmap consistency, per-level revolution bounds relative
+// to the clock, and the node count. Slot linkage is checked by the
+// caller, which owns the slot table.
+func (w *wheel) verify(now time.Duration, slotCheck func(heapNode) error) error {
+	total := 0
+	c := wheelTick(now)
+	for l := range w.levels {
+		lv := &w.levels[l]
+		shift := uint(l * wheelBits)
+		lvlTotal := 0
+		for i := range lv.buckets {
+			b := lv.buckets[i]
+			occupied := lv.occ[i>>6]&(1<<uint(i&63)) != 0
+			if occupied != (len(b) > 0) {
+				return fmt.Errorf("wheel L%d bucket %d: occupancy bit %v but %d events", l, i, occupied, len(b))
+			}
+			for j, n := range b {
+				if j > 0 {
+					parent := (j - 1) / 4
+					if nodeLess(n, b[parent]) {
+						return fmt.Errorf("wheel L%d bucket %d: heap order violated at %d", l, i, j)
+					}
+				}
+				t := wheelTick(n.at)
+				if int((t>>shift)&wheelMask) != i {
+					return fmt.Errorf("wheel L%d: event at %v hashed to bucket %d, stored in %d", l, n.at, (t>>shift)&wheelMask, i)
+				}
+				if d := (t >> shift) - (c >> shift); d < 0 || d >= wheelSlots {
+					return fmt.Errorf("wheel L%d: event at %v is %d level-ticks from now %v, outside [0,%d)", l, n.at, d, now, wheelSlots)
+				}
+				if err := slotCheck(n); err != nil {
+					return err
+				}
+			}
+			lvlTotal += len(b)
+		}
+		if lvlTotal != lv.count {
+			return fmt.Errorf("wheel L%d count %d but %d events in buckets", l, lv.count, lvlTotal)
+		}
+		total += lvlTotal
+	}
+	if total != w.count {
+		return fmt.Errorf("wheel count %d but %d events in buckets", w.count, total)
+	}
+	if w.minValid && w.count > 0 {
+		if !w.minOK {
+			return fmt.Errorf("wheel min cache claims empty with %d events", w.count)
+		}
+		if got := w.levels[w.minLevel].buckets[w.minIdx]; len(got) == 0 || got[0] != w.minNode {
+			return fmt.Errorf("wheel min cache points at stale bucket root")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,82 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestValidateSchedule(t *testing.T) {
+	cases := []struct {
+		name    string
+		ps      []Phase
+		wantErr bool
+	}{
+		{"valid single", []Phase{{Kind: "reno", DurS: 10}}, false},
+		{"valid multi", []Phase{{Kind: "bbr", DurS: 5}, {Kind: "idle", DurS: 0.5}, {Kind: "cbr", DurS: 1}}, false},
+		{"empty", nil, true},
+		{"unknown kind", []Phase{{Kind: "quic", DurS: 10}}, true},
+		{"empty kind", []Phase{{Kind: "", DurS: 10}}, true},
+		{"zero duration", []Phase{{Kind: "reno", DurS: 0}}, true},
+		{"negative duration", []Phase{{Kind: "reno", DurS: -1}}, true},
+		{"NaN duration", []Phase{{Kind: "reno", DurS: math.NaN()}}, true},
+		{"Inf duration", []Phase{{Kind: "reno", DurS: math.Inf(1)}}, true},
+		{"bad phase after good", []Phase{{Kind: "reno", DurS: 10}, {Kind: "reno", DurS: 0}}, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := ValidateSchedule(tc.ps)
+			if (err != nil) != tc.wantErr {
+				t.Errorf("ValidateSchedule(%v) err = %v, wantErr %v", tc.ps, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestScheduleDuration(t *testing.T) {
+	if got := ScheduleDuration(nil); got != 0 {
+		t.Errorf("empty schedule duration %v, want 0", got)
+	}
+	ps := []Phase{{Kind: "reno", DurS: 1.5}, {Kind: "idle", DurS: 0.25}, {Kind: "bbr", DurS: 3}}
+	if got, want := ScheduleDuration(ps), 4750*time.Millisecond; got != want {
+		t.Errorf("schedule duration %v, want %v", got, want)
+	}
+	// Sub-second phases must not truncate: a 100ms phase is 100ms, not 0.
+	if got, want := (Phase{Kind: "idle", DurS: 0.1}).Duration(), 100*time.Millisecond; got != want {
+		t.Errorf("0.1s phase duration %v, want %v", got, want)
+	}
+}
+
+// TestPhaseKinds pins the genome-encoding contract: every listed kind
+// validates, the list covers the full valid set, and the elastic kinds
+// form a contiguous prefix in the fixed order.
+func TestPhaseKinds(t *testing.T) {
+	kinds := PhaseKinds()
+	if len(kinds) != len(phaseKinds) {
+		t.Fatalf("PhaseKinds lists %d kinds, validator knows %d", len(kinds), len(phaseKinds))
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		if seen[k] {
+			t.Errorf("duplicate kind %q", k)
+		}
+		seen[k] = true
+		if err := ValidateSchedule([]Phase{{Kind: k, DurS: 1}}); err != nil {
+			t.Errorf("listed kind %q fails validation: %v", k, err)
+		}
+	}
+	// Elastic-first order: once the first inelastic kind appears, no
+	// elastic kind may follow (genome decode depends on the split).
+	firstInelastic := -1
+	for i, k := range kinds {
+		if !ElasticKind(k) && firstInelastic < 0 {
+			firstInelastic = i
+		}
+		if ElasticKind(k) && firstInelastic >= 0 {
+			t.Errorf("elastic kind %q at %d after inelastic kind at %d", k, i, firstInelastic)
+		}
+	}
+	if firstInelastic < 0 {
+		t.Error("no inelastic kinds listed")
+	}
+}

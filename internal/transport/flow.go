@@ -45,6 +45,13 @@ type FlowConfig struct {
 	OpenLoop bool
 	// TraceRTT retains per-ack RTT samples on the sender.
 	TraceRTT bool
+	// NoDeliverySeries skips the per-ack Delivered time-series samples.
+	// BytesAcked and the CCA's CumDelivered still advance; only
+	// Throughput (which reads the series) stops working. Set this for
+	// large churning populations whose flows are only ever summed by
+	// BytesAcked — the series otherwise grows one sample per ack for
+	// the life of the flow.
+	NoDeliverySeries bool
 	// Trace, if non-nil, receives the sender's event stream. It is also
 	// offered to the congestion controller when it implements
 	// obs.TraceSetter, so CCA-internal transitions land in the same log.
@@ -73,17 +80,18 @@ func NewFlow(eng *sim.Engine, cfg FlowConfig) *Flow {
 		cfg.MSS = sim.MSS
 	}
 	s := &Sender{
-		eng:      eng,
-		flowID:   cfg.ID,
-		userID:   cfg.UserID,
-		path:     cfg.Path,
-		cc:       cfg.CC,
-		mss:      cfg.MSS,
-		openLoop: cfg.OpenLoop,
-		inflight: make(map[int64]sentInfo),
-		TraceRTT: cfg.TraceRTT,
-		Trace:    cfg.Trace,
-		startAt:  eng.Now(),
+		eng:         eng,
+		flowID:      cfg.ID,
+		userID:      cfg.UserID,
+		path:        cfg.Path,
+		cc:          cfg.CC,
+		mss:         cfg.MSS,
+		openLoop:    cfg.OpenLoop,
+		inflight:    make(map[int64]sentInfo),
+		TraceRTT:    cfg.TraceRTT,
+		noDelivered: cfg.NoDeliverySeries,
+		Trace:       cfg.Trace,
+		startAt:     eng.Now(),
 	}
 	s.trySendFn = s.trySend
 	s.onRTOFn = s.onRTO

@@ -121,6 +121,8 @@ type Sender struct {
 	RTTs stats.Series
 	// TraceRTT controls whether per-ack RTT samples are retained.
 	TraceRTT bool
+	// noDelivered suppresses Delivered samples (FlowConfig.NoDeliverySeries).
+	noDelivered bool
 
 	// Trace, if non-nil, receives the sender's event stream: send, ack,
 	// cwnd (bulk, subject to sampling) and loss, timeout, limit-state
@@ -351,7 +353,9 @@ func (s *Sender) onAck(p *sim.Packet) {
 	if s.RTTHist != nil {
 		s.RTTHist.Observe(rtt.Seconds() * 1e3)
 	}
-	s.Delivered.Append(now, float64(s.bytesAcked))
+	if !s.noDelivered {
+		s.Delivered.Append(now, float64(s.bytesAcked))
+	}
 
 	// Delivery rate sample (BBR-style).
 	var rateBps float64
